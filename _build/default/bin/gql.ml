@@ -1,0 +1,254 @@
+(* The command-line face of the library.
+
+     gql run      -d data.xml query.gql        evaluate a query file
+     gql validate -d data.xml [--dtd f.dtd]    DTD / embedded-DTD validation
+     gql render   query.gql -o out.svg         draw a rule like the paper
+     gql explain  -d data.xml query.gql        show the physical plan
+     gql matrix                                the expressiveness table
+     gql stats    -d data.xml                  data-graph statistics
+
+   Query files start with a header line: `xmlgl` or `wglog`. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let language_of source =
+  (* the header line decides the front-end *)
+  let first_word =
+    String.split_on_char '\n' source
+    |> List.map String.trim
+    |> List.find_opt (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match first_word with
+  | Some l when String.length l >= 5 && String.sub l 0 5 = "wglog" -> `Wglog
+  | Some l when String.length l >= 5 && String.sub l 0 5 = "xmlgl" -> `Xmlgl
+  | _ -> `Unknown
+
+(* --- common args -------------------------------------------------------- *)
+
+let data_arg =
+  let doc = "XML document to load as the database." in
+  Arg.(value & opt (some file) None & info [ "d"; "data" ] ~docv:"FILE" ~doc)
+
+let query_arg =
+  let doc = "Query file (textual XML-GL or WG-Log; header line selects)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY" ~doc)
+
+let out_arg =
+  let doc = "Output file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let require_db data =
+  match data with
+  | Some f -> Gql_core.Gql.load_xml_file f
+  | None -> failwith "this command needs --data FILE"
+
+let wrap f =
+  try f (); 0 with
+  | Gql_core.Gql.Error msg | Failure msg ->
+    prerr_endline ("error: " ^ msg);
+    1
+  | Gql_xml.Parser.Error (msg, pos) ->
+    Printf.eprintf "error: XML %d:%d: %s\n" pos.Gql_xml.Parser.line
+      pos.Gql_xml.Parser.col msg;
+    1
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let action data query out =
+    wrap (fun () ->
+        let source = read_file query in
+        match language_of source with
+        | `Xmlgl ->
+          let db = require_db data in
+          let result = Gql_core.Gql.run_xmlgl_text db source in
+          let text = Gql_core.Gql.to_xml_string result in
+          (match out with
+          | Some f ->
+            let oc = open_out f in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote %s\n" f
+          | None -> print_string text)
+        | `Wglog ->
+          let db = require_db data in
+          let stats = Gql_core.Gql.run_wglog_text db source in
+          Printf.printf
+            "fixpoint reached: %d rounds, %d embeddings, +%d nodes, +%d edges\n"
+            stats.Gql_wglog.Eval.rounds stats.embeddings_found stats.nodes_added
+            stats.edges_added;
+          (match out with
+          | Some f ->
+            let oc = open_out f in
+            output_string oc (Gql_data.Graph.to_dot db.Gql_core.Gql.graph);
+            close_out oc;
+            Printf.printf "wrote saturated graph to %s (DOT)\n" f
+          | None -> ())
+        | `Unknown -> failwith "query file must start with 'xmlgl' or 'wglog'")
+  in
+  let info = Cmd.info "run" ~doc:"Evaluate a graphical query against a database." in
+  Cmd.v info Term.(const action $ data_arg $ query_arg $ out_arg)
+
+(* --- validate ------------------------------------------------------------- *)
+
+let validate_cmd =
+  let dtd_arg =
+    let doc = "External DTD file (otherwise the DOCTYPE internal subset)." in
+    Arg.(value & opt (some file) None & info [ "dtd" ] ~docv:"FILE" ~doc)
+  in
+  let action data dtd =
+    wrap (fun () ->
+        let dtd =
+          Option.map (fun f -> Gql_dtd.Parse.parse_subset (read_file f)) dtd
+        in
+        let db =
+          match data with
+          | Some f -> Gql_core.Gql.load_xml_file ?dtd f
+          | None -> failwith "validate needs --data FILE"
+        in
+        let violations = Gql_core.Gql.validate_dtd db in
+        if violations = [] then print_endline "valid"
+        else begin
+          List.iter
+            (fun v -> print_endline (Gql_dtd.Validate.pp_violation v))
+            violations;
+          Printf.printf "%d violation(s)\n" (List.length violations)
+        end)
+  in
+  let info = Cmd.info "validate" ~doc:"Validate a document against its DTD." in
+  Cmd.v info Term.(const action $ data_arg $ dtd_arg)
+
+(* --- render ----------------------------------------------------------------- *)
+
+let render_cmd =
+  let ascii_arg =
+    let doc = "Render to the terminal instead of SVG." in
+    Arg.(value & flag & info [ "ascii" ] ~doc)
+  in
+  let action query out ascii =
+    wrap (fun () ->
+        let source = read_file query in
+        let diagrams =
+          match language_of source with
+          | `Xmlgl ->
+            let p = Gql_core.Gql.parse_xmlgl source in
+            List.mapi
+              (fun i r ->
+                Gql_core.Gql.rule_diagram_xmlgl
+                  ~title:(Printf.sprintf "rule %d" (i + 1)) r)
+              p.Gql_xmlgl.Ast.rules
+          | `Wglog ->
+            let p = Gql_core.Gql.parse_wglog source in
+            List.mapi
+              (fun i r ->
+                Gql_core.Gql.rule_diagram_wglog
+                  ~title:(Printf.sprintf "rule %d" (i + 1)) r)
+              p.Gql_wglog.Ast.rules
+          | `Unknown -> failwith "query file must start with 'xmlgl' or 'wglog'"
+        in
+        if ascii then
+          List.iter (fun d -> print_string (Gql_core.Gql.render_ascii d)) diagrams
+        else begin
+          let base = Option.value out ~default:(Filename.remove_extension query ^ ".svg") in
+          List.iteri
+            (fun i d ->
+              let path =
+                if List.length diagrams = 1 then base
+                else
+                  Printf.sprintf "%s.%d.svg" (Filename.remove_extension base) (i + 1)
+              in
+              Gql_core.Gql.save_svg path d;
+              Printf.printf "wrote %s\n" path)
+            diagrams
+        end)
+  in
+  let info = Cmd.info "render" ~doc:"Draw the rules of a query as the paper does." in
+  Cmd.v info Term.(const action $ query_arg $ out_arg $ ascii_arg)
+
+(* --- explain ----------------------------------------------------------------- *)
+
+let explain_cmd =
+  let action data query =
+    wrap (fun () ->
+        let source = read_file query in
+        match language_of source with
+        | `Xmlgl ->
+          let db = require_db data in
+          print_string (Gql_core.Gql.explain_xmlgl db (Gql_core.Gql.parse_xmlgl source))
+        | `Wglog -> failwith "explain supports XML-GL queries"
+        | `Unknown -> failwith "query file must start with 'xmlgl' or 'wglog'")
+  in
+  let info = Cmd.info "explain" ~doc:"Show the physical plan for a query." in
+  Cmd.v info Term.(const action $ data_arg $ query_arg)
+
+(* --- xpath ----------------------------------------------------------------- *)
+
+let xpath_cmd =
+  let expr_arg =
+    let doc = "XPath expression." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc)
+  in
+  let action data expr =
+    wrap (fun () ->
+        let db = require_db data in
+        match Gql_xpath.Parse.expr expr with
+        | exception Gql_xpath.Parse.Error (msg, pos) ->
+          failwith (Printf.sprintf "XPath offset %d: %s" pos msg)
+        | e -> (
+          let idx = Lazy.force db.Gql_core.Gql.xpath_index in
+          match Gql_xpath.Eval.eval_expr idx e with
+          | Gql_xpath.Eval.Nodeset ns ->
+            Printf.printf "%d node(s)\n" (List.length ns);
+            List.iter
+              (fun n ->
+                print_endline
+                  (Gql_xml.Printer.node_to_string (Gql_xpath.Index.to_tree idx n)))
+              ns
+          | Gql_xpath.Eval.Str s -> print_endline s
+          | Gql_xpath.Eval.Num f -> Printf.printf "%g\n" f
+          | Gql_xpath.Eval.Bool b -> Printf.printf "%b\n" b))
+  in
+  let info = Cmd.info "xpath" ~doc:"Evaluate an XPath expression (the navigational baseline)." in
+  Cmd.v info Term.(const action $ data_arg $ expr_arg)
+
+(* --- matrix / stats ------------------------------------------------------------ *)
+
+let matrix_cmd =
+  let action () =
+    print_string (Gql_core.Expressiveness.matrix_to_string ());
+    0
+  in
+  let info = Cmd.info "matrix" ~doc:"Print the language expressiveness matrix." in
+  Cmd.v info Term.(const action $ const ())
+
+let stats_cmd =
+  let action data =
+    wrap (fun () ->
+        let db = require_db data in
+        let nodes, edges = Gql_core.Gql.stats db in
+        Printf.printf "graph: %d nodes, %d edges\n" nodes edges;
+        match db.Gql_core.Gql.dtd with
+        | Some dtd ->
+          Printf.printf "DTD: %d element declarations\n"
+            (List.length dtd.Gql_dtd.Ast.elements)
+        | None -> print_endline "DTD: none")
+  in
+  let info = Cmd.info "stats" ~doc:"Database statistics." in
+  Cmd.v info Term.(const action $ data_arg)
+
+let () =
+  let info =
+    Cmd.info "gql" ~version:"1.0"
+      ~doc:"Graphical query languages for semi-structured information (EDBT 2000 reproduction)"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; validate_cmd; render_cmd; explain_cmd; xpath_cmd; matrix_cmd; stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/bibliography.ml: Gql_core Gql_dtd Gql_workload Gql_xml Gql_xmlgl List Printf

@@ -1,0 +1,1 @@
+examples/deductive_web.ml: Gql_core Gql_data Gql_wglog Gql_workload List Printf

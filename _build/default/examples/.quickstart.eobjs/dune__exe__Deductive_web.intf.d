@@ -1,0 +1,1 @@
+examples/deductive_web.mli:

@@ -1,0 +1,1 @@
+examples/greengrocer.ml: Gql_core Gql_workload Gql_xml Gql_xmlgl List Option Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gql_core Gql_xmlgl List Printf

@@ -1,0 +1,1 @@
+examples/schema_compare.ml: Gql_data Gql_dtd Gql_workload Gql_xml Gql_xmlgl List Printf String

@@ -1,0 +1,1 @@
+lib/algebra/exec.ml: Array Fun Gql_data Gql_graph Gql_xmlgl Graph List Plan Planner

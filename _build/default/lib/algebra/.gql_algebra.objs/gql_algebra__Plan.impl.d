@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Buffer Gql_data Gql_graph Graph Printf String

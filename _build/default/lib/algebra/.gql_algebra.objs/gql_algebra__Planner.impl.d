@@ -1,0 +1,1 @@
+lib/algebra/planner.ml: Array Fun Gql_data Gql_graph Gql_xmlgl Graph List Plan Printf

@@ -1,0 +1,80 @@
+(** Physical query plans.
+
+    Both visual languages compile their query parts to the same pattern
+    representation ([Gql_graph.Homo.pattern]); this module gives that
+    pattern an explicit *plan* — the operator tree a database engine
+    would show in EXPLAIN — so that planning decisions (join order,
+    predicate pushdown) become visible, testable and benchable
+    (experiments E7/E9).
+
+    A plan computes a set of bindings: arrays indexed by pattern node. *)
+
+open Gql_data
+
+type edge_dir = Forward | Backward
+
+type t =
+  | Scan of { var : int; label : string }
+      (** all data nodes satisfying the var's node predicate; [label] is
+          only for display *)
+  | Expand of {
+      input : t;
+      src : int;  (** already bound *)
+      dst : int;  (** newly bound *)
+      dir : edge_dir;
+      cons : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint;
+      label : string;
+    }
+  | Edge_check of {
+      input : t;
+      src : int;
+      dst : int;
+      cons : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint;
+      label : string;
+    }  (** both endpoints bound: filter *)
+  | Cross of t * t  (** disconnected components *)
+  | Filter of { input : t; name : string; pred : Graph.t -> int array -> bool }
+      (** residual predicates: value joins, ordered content, absent
+          children, cross-node comparisons *)
+
+let rec vars = function
+  | Scan { var; _ } -> [ var ]
+  | Expand { input; dst; _ } -> dst :: vars input
+  | Edge_check { input; _ } | Filter { input; _ } -> vars input
+  | Cross (a, b) -> vars a @ vars b
+
+(** EXPLAIN-style rendering. *)
+let to_string plan =
+  let buf = Buffer.create 256 in
+  let rec go indent p =
+    let pad = String.make (2 * indent) ' ' in
+    match p with
+    | Scan { var; label } ->
+      Buffer.add_string buf (Printf.sprintf "%sscan $%d (%s)\n" pad var label)
+    | Expand { input; src; dst; dir; label; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sexpand $%d %s $%d via %s\n" pad src
+           (match dir with Forward -> "->" | Backward -> "<-")
+           dst label);
+      go (indent + 1) input
+    | Edge_check { input; src; dst; label; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "%scheck edge $%d -> $%d (%s)\n" pad src dst label);
+      go (indent + 1) input
+    | Cross (a, b) ->
+      Buffer.add_string buf (Printf.sprintf "%scross\n" pad);
+      go (indent + 1) a;
+      go (indent + 1) b
+    | Filter { input; name; _ } ->
+      Buffer.add_string buf (Printf.sprintf "%sfilter %s\n" pad name);
+      go (indent + 1) input
+  in
+  go 0 plan;
+  Buffer.contents buf
+
+(** Operator count, used as a sanity metric in tests. *)
+let rec size = function
+  | Scan _ -> 1
+  | Expand { input; _ } | Edge_check { input; _ } | Filter { input; _ } ->
+    1 + size input
+  | Cross (a, b) -> 1 + size a + size b

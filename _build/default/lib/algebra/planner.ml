@@ -1,0 +1,179 @@
+(** The planner: pattern -> plan.
+
+    Two strategies, ablated by experiment E9:
+
+    - [`Greedy] (the default): start each connected component at its most
+      selective node (fewest candidates, estimated by one pass over the
+      data graph) and always extend with the already-connected node that
+      has the smallest candidate estimate — the classical fail-first
+      heuristic;
+    - [`Fixed]: bind pattern nodes in declaration order, connecting them
+      to whatever is already bound.  This is what a naive reading of the
+      visual graph gives and is the "optimiser off" baseline.
+
+    Residual filters (value joins, ordered-content checks, negations
+    whose endpoints are never adjacent in the traversal, cross-node
+    predicates) are appended on top. *)
+
+open Gql_data
+
+type residual = { r_name : string; r_pred : Graph.t -> int array -> bool }
+
+type job = {
+  pattern : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern;
+  residuals : residual list;
+}
+
+let cons_label (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint) =
+  match c with
+  | Gql_graph.Homo.Direct _ -> "direct"
+  | Gql_graph.Homo.Path _ -> "path"
+  | Gql_graph.Homo.Negated _ -> "negated"
+
+(** Candidate-count estimates: one pass over the data. *)
+let estimates (data : Graph.t) (pat : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern) :
+    int array =
+  let k = Array.length pat.Gql_graph.Homo.p_nodes in
+  let counts = Array.make k 0 in
+  for n = 0 to Graph.n_nodes data - 1 do
+    let kind = Graph.kind data n in
+    for v = 0 to k - 1 do
+      if pat.Gql_graph.Homo.p_nodes.(v) n kind then counts.(v) <- counts.(v) + 1
+    done
+  done;
+  counts
+
+let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
+  let pat = job.pattern in
+  let k = Array.length pat.Gql_graph.Homo.p_nodes in
+  if k = 0 then invalid_arg "empty pattern";
+  let est =
+    match strategy with
+    | `Greedy -> estimates data pat
+    | `Fixed -> Array.make k 0
+  in
+  (* Positive adjacency with constraints. *)
+  let pos_edges =
+    List.filter
+      (fun (_, c, _) ->
+        match c with
+        | Gql_graph.Homo.Negated _ -> false
+        | Gql_graph.Homo.Direct _ | Gql_graph.Homo.Path _ -> true)
+      pat.Gql_graph.Homo.p_edges
+  in
+  let neg_edges =
+    List.filter
+      (fun (_, c, _) ->
+        match c with
+        | Gql_graph.Homo.Negated _ -> true
+        | Gql_graph.Homo.Direct _ | Gql_graph.Homo.Path _ -> false)
+      pat.Gql_graph.Homo.p_edges
+  in
+  let bound = Array.make k false in
+  let used = Array.make (List.length pos_edges) false in
+  let pos_arr = Array.of_list pos_edges in
+  (* Next node choice. *)
+  let pick_next () =
+    match strategy with
+    | `Fixed ->
+      let rec first i = if i >= k then -1 else if bound.(i) then first (i + 1) else i in
+      first 0
+    | `Greedy ->
+      let best = ref (-1) and best_score = ref max_int in
+      for v = 0 to k - 1 do
+        if not bound.(v) then begin
+          let connected =
+            Array.exists
+              (fun (a, _, b) -> (bound.(a) && b = v) || (bound.(b) && a = v))
+              pos_arr
+          in
+          let score = if connected then est.(v) else est.(v) + 1_000_000 in
+          if score < !best_score then begin
+            best_score := score;
+            best := v
+          end
+        end
+      done;
+      !best
+  in
+  (* Find an unused positive edge connecting the bound region to [v]. *)
+  let connecting_edge v =
+    let found = ref None in
+    Array.iteri
+      (fun i (a, c, b) ->
+        if !found = None && not used.(i) then
+          if bound.(a) && b = v then begin
+            used.(i) <- true;
+            found := Some (a, c, b, Plan.Forward)
+          end
+          else if bound.(b) && a = v then begin
+            used.(i) <- true;
+            found := Some (b, c, a, Plan.Backward)
+          end)
+      pos_arr;
+    !found
+  in
+  (* Remaining edges between two bound nodes become checks. *)
+  let pending_checks () =
+    let acc = ref [] in
+    Array.iteri
+      (fun i (a, c, b) ->
+        if (not used.(i)) && bound.(a) && bound.(b) then begin
+          used.(i) <- true;
+          acc := (a, c, b) :: !acc
+        end)
+      pos_arr;
+    List.rev !acc
+  in
+  let label_of v = Printf.sprintf "node%d" v in
+  let rec grow plan =
+    if Array.for_all Fun.id bound then plan
+    else begin
+      let v = pick_next () in
+      let plan =
+        match connecting_edge v with
+        | Some (src, c, dst, dir) ->
+          bound.(v) <- true;
+          Plan.Expand { input = plan; src; dst; dir; cons = c; label = cons_label c }
+        | None ->
+          bound.(v) <- true;
+          Plan.Cross (plan, Plan.Scan { var = v; label = label_of v })
+      in
+      let plan =
+        List.fold_left
+          (fun plan (a, c, b) ->
+            Plan.Edge_check { input = plan; src = a; dst = b; cons = c; label = cons_label c })
+          plan (pending_checks ())
+      in
+      grow plan
+    end
+  in
+  let start = pick_next () in
+  bound.(start) <- true;
+  let plan = grow (Plan.Scan { var = start; label = label_of start }) in
+  (* Negated edges as filters. *)
+  let plan =
+    List.fold_left
+      (fun plan (a, c, b) ->
+        Plan.Edge_check { input = plan; src = a; dst = b; cons = c; label = "negated" })
+      plan neg_edges
+  in
+  (* Residual filters. *)
+  List.fold_left
+    (fun plan r ->
+      Plan.Filter { input = plan; name = r.r_name; pred = r.r_pred })
+    plan job.residuals
+
+(** Job construction from a compiled XML-GL query: the pattern plus its
+    post-filters packaged as residuals. *)
+let job_of_xmlgl (c : Gql_xmlgl.Matching.compiled) : job =
+  {
+    pattern = c.Gql_xmlgl.Matching.pattern;
+    residuals =
+      [
+        {
+          r_name = "xmlgl-residuals";
+          r_pred = (fun data emb -> Gql_xmlgl.Matching.embedding_ok c data emb);
+        };
+      ];
+  }

@@ -1,0 +1,1 @@
+lib/core/expressiveness.ml: Array Buffer Gql_wglog Gql_xmlgl Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/expressiveness.mli: Gql_wglog Gql_xmlgl

@@ -1,0 +1,1 @@
+lib/core/gql.ml: Gql_algebra Gql_data Gql_dtd Gql_lang Gql_visual Gql_wglog Gql_xml Gql_xmlgl Gql_xpath Lazy List Printf

@@ -1,0 +1,1 @@
+lib/core/gql.mli: Gql_data Gql_dtd Gql_visual Gql_wglog Gql_xml Gql_xmlgl Gql_xpath Lazy

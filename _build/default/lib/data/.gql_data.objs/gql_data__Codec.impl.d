@@ -1,0 +1,1 @@
+lib/data/codec.ml: Gql_dtd Gql_xml Graph Hashtbl Ids List Printf String Tree Value

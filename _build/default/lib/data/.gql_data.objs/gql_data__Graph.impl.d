@@ -1,0 +1,1 @@
+lib/data/graph.ml: Gql_graph List Printf String Value

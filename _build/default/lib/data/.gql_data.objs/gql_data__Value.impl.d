@@ -1,0 +1,1 @@
+lib/data/value.ml: Float Printf String

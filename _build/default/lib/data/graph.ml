@@ -1,0 +1,164 @@
+(** The semi-structured data graph (OEM-style).
+
+    This is the model both query languages evaluate over.  A node is
+    either a *complex* object carrying a label (element name / entity
+    type) or an *atom* carrying a value; edges carry a name, an edge kind
+    and an optional position:
+
+    - [Child]: XML containment; [ord] records document order so XML-GL's
+      "ordered content" tick can be honoured;
+    - [Attribute]: XML attributes (the paper draws them as filled
+      circles);
+    - [Ref]: a resolved ID/IDREF link — these are what make the data a
+      graph rather than a tree;
+    - [Rel]: a named relation edge for WG-Log-style entity databases
+      (e.g. [offers] between [Restaurant] and [Menu]). *)
+
+type node_kind =
+  | Complex of string
+  | Atom of Value.t
+
+type edge_kind = Child | Attribute | Ref | Rel
+
+type edge = {
+  name : string;
+  kind : edge_kind;
+  ord : int option;
+  gen : int;
+      (** derivation generation: 0 for base facts, n for edges added by
+          the n-th round of a WG-Log fixpoint — what makes semi-naive
+          evaluation possible *)
+}
+
+type t = {
+  g : (node_kind, edge) Gql_graph.Digraph.t;
+  mutable roots : Gql_graph.Digraph.node list;
+}
+
+type node = Gql_graph.Digraph.node
+
+let dummy_kind = Complex ""
+
+let create () : t =
+  { g = Gql_graph.Digraph.create ~dummy:dummy_kind; roots = [] }
+
+let add_complex t label = Gql_graph.Digraph.add_node t.g (Complex label)
+let add_atom t v = Gql_graph.Digraph.add_node t.g (Atom v)
+let add_root t n = t.roots <- t.roots @ [ n ]
+
+let child_edge ?ord name = { name; kind = Child; ord; gen = 0 }
+let attr_edge name = { name; kind = Attribute; ord = None; gen = 0 }
+let ref_edge name = { name; kind = Ref; ord = None; gen = 0 }
+let rel_edge ?(gen = 0) name = { name; kind = Rel; ord = None; gen }
+
+let link t ~src ~dst e = Gql_graph.Digraph.add_edge t.g ~src ~dst e
+
+let kind t n = Gql_graph.Digraph.payload t.g n
+
+let label t n =
+  match kind t n with
+  | Complex l -> Some l
+  | Atom _ -> None
+
+let atom_value t n =
+  match kind t n with
+  | Atom v -> Some v
+  | Complex _ -> None
+
+let is_atom t n = match kind t n with Atom _ -> true | Complex _ -> false
+
+let out t n = Gql_graph.Digraph.succ t.g n
+let inn t n = Gql_graph.Digraph.pred t.g n
+let n_nodes t = Gql_graph.Digraph.n_nodes t.g
+let n_edges t = Gql_graph.Digraph.n_edges t.g
+let roots t = t.roots
+
+(** Children in stored order: [Child] edges sorted by [ord]. *)
+let children t n =
+  out t n
+  |> List.filter_map (fun (dst, e) ->
+         match e.kind with
+         | Child -> Some (e.ord, dst, e)
+         | Attribute | Ref | Rel -> None)
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (_, dst, e) -> (dst, e))
+
+let attributes t n =
+  out t n
+  |> List.filter_map (fun (dst, e) ->
+         match e.kind, atom_value t dst with
+         | Attribute, Some v -> Some (e.name, v)
+         | (Attribute | Child | Ref | Rel), _ -> None)
+  |> List.sort compare
+
+let refs t n =
+  List.filter_map
+    (fun (dst, e) -> match e.kind with Ref -> Some (e.name, dst) | _ -> None)
+    (out t n)
+
+let rels t n =
+  List.filter_map
+    (fun (dst, e) -> match e.kind with Rel -> Some (e.name, dst) | _ -> None)
+    (out t n)
+
+(** The string-value of a node: its atom, or the concatenation of the
+    string-values of its children in order (XPath-style). *)
+let rec string_value t n =
+  match kind t n with
+  | Atom v -> Value.to_string v
+  | Complex _ ->
+    String.concat "" (List.map (fun (c, _) -> string_value t c) (children t n))
+
+(** Typed value of a node: atoms as themselves, complex nodes by their
+    string-value with inference. *)
+let node_value t n =
+  match kind t n with
+  | Atom v -> v
+  | Complex _ -> Value.of_string (string_value t n)
+
+(** All nodes with a given label. *)
+let nodes_labelled t lbl =
+  Gql_graph.Digraph.find_nodes t.g (function
+    | Complex l -> l = lbl
+    | Atom _ -> false)
+
+(** Nodes reachable from [n] via Child/Ref/Rel edges (descendants in the
+    graph sense), excluding [n]. *)
+let descendants t n =
+  let order =
+    Gql_graph.Algo.bfs
+      ~follow:(fun e -> e.kind <> Attribute)
+      t.g [ n ]
+  in
+  List.filter (fun m -> m <> n) order
+
+let pp_node t n =
+  match kind t n with
+  | Complex l -> Printf.sprintf "%s#%d" l n
+  | Atom v -> Printf.sprintf "%S#%d" (Value.to_string v) n
+
+let pp_edge e =
+  let k =
+    match e.kind with
+    | Child -> "child"
+    | Attribute -> "attr"
+    | Ref -> "ref"
+    | Rel -> "rel"
+  in
+  match e.name, e.ord with
+  | "", Some i -> Printf.sprintf "%s[%d]" k i
+  | "", None -> k
+  | n, Some i -> Printf.sprintf "%s:%s[%d]" k n i
+  | n, None -> Printf.sprintf "%s:%s" k n
+
+let to_dot t =
+  Gql_graph.Dot.to_string
+    ~node_label:(fun n k ->
+      match k with
+      | Complex l -> Printf.sprintf "%s (%d)" l n
+      | Atom v -> Value.to_string v)
+    ~node_attrs:(fun _ k ->
+      match k with
+      | Complex _ -> [ ("shape", "box") ]
+      | Atom _ -> [ ("shape", "ellipse") ])
+    ~edge_label:pp_edge t.g

@@ -1,0 +1,1 @@
+lib/dtd/ast.ml: Buffer Gql_regex List Printf String

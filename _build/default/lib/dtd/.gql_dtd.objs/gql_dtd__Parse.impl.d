@@ -1,0 +1,1 @@
+lib/dtd/parse.ml: Ast Gql_regex Gql_xml List Printf String

@@ -1,0 +1,1 @@
+lib/dtd/validate.ml: Ast Gql_regex Gql_xml Hashtbl List Option Printf String

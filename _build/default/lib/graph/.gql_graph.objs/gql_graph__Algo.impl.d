@@ -1,0 +1,1 @@
+lib/graph/algo.ml: Array Digraph List Queue

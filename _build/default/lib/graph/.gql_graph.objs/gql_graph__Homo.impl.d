@@ -1,0 +1,1 @@
+lib/graph/homo.ml: Array Digraph List Regpath

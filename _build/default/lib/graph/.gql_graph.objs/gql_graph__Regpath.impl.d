@@ -1,0 +1,1 @@
+lib/graph/regpath.ml: Array Buffer Digraph Fun Gql_regex Hashtbl List Queue

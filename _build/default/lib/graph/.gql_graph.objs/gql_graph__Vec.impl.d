@@ -1,0 +1,1 @@
+lib/graph/vec.ml: Array List

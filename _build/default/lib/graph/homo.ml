@@ -1,0 +1,212 @@
+(** Generic pattern matching: find homomorphic embeddings of a small
+    pattern graph into a large data graph.
+
+    Both visual languages reduce their matching phase to this search:
+    pattern nodes constrain the data node they may bind to (a predicate),
+    pattern edges constrain pairs of bindings — either a direct edge whose
+    label satisfies a predicate, or a regular path ({!Regpath}).  Shared
+    pattern nodes *are* the joins of the paper ("they share the same
+    nodes, making variables obsolete").
+
+    The search is backtracking with the standard optimisations that keep
+    the paper's example queries interactive on 100k-node databases:
+    - once part of the pattern is bound, candidates for a node connected
+      to the bound region come from *adjacency* of the bound neighbour,
+      never from a global scan;
+    - global candidate lists (needed to start each connected component)
+      are computed lazily and memoised;
+    - the next node to bind is chosen fail-first: connected nodes are
+      scored by their bound neighbour's degree, unconnected ones by their
+      global candidate count.
+
+    [iter_embeddings ~pre_bound] seeds the search with fixed bindings —
+    the semi-naive WG-Log evaluator pins a pattern edge to a freshly
+    derived data edge and completes the embedding around it. *)
+
+type ('n, 'e) edge_constraint =
+  | Direct of ('e -> bool)  (** one edge whose label satisfies the predicate *)
+  | Path of 'e Regpath.t  (** a regular path *)
+  | Negated of ('e -> bool)
+      (** no edge with a matching label may exist (GraphLog's crossed-out
+          edges); checked once both endpoints are bound *)
+
+type ('n, 'e) pattern = {
+  p_nodes : (Digraph.node -> 'n -> bool) array;
+      (** predicate for each pattern node; receives the data node id so
+          callers can consult surrounding structure (e.g. string-values) *)
+  p_edges : (int * ('n, 'e) edge_constraint * int) list;
+}
+
+type embedding = int array
+(** [emb.(p)] = data node bound to pattern node [p]. *)
+
+(** Enumerate embeddings, calling [emit] on each.  [emit] may raise to
+    stop early (see {!exists}).  [pre_bound] fixes pattern nodes to data
+    nodes before the search starts (duplicates must agree); the fixed
+    nodes are checked against their predicates and edge constraints. *)
+let iter_embeddings ?(pre_bound = []) (pat : ('n, 'e) pattern)
+    (g : ('n, 'e) Digraph.t) ~(emit : embedding -> unit) : unit =
+  let k = Array.length pat.p_nodes in
+  if k = 0 then emit [||]
+  else begin
+    let binding = Array.make k (-1) in
+    let bound = Array.make k false in
+    (* Lazy global candidate lists. *)
+    let cand_cache : int list option array = Array.make k None in
+    let global_candidates p =
+      match cand_cache.(p) with
+      | Some c -> c
+      | None ->
+        let c =
+          List.rev
+            (Digraph.fold_nodes
+               (fun acc i payload -> if pat.p_nodes.(p) i payload then i :: acc else acc)
+               [] g)
+        in
+        cand_cache.(p) <- Some c;
+        c
+    in
+    (* Positive adjacency between pattern nodes, for connectivity-guided
+       ordering; negated edges do not guide the order (they only filter). *)
+    let adj = Array.make k [] in
+    List.iter
+      (fun (a, c, b) ->
+        match c with
+        | Direct _ | Path _ ->
+          adj.(a) <- b :: adj.(a);
+          adj.(b) <- a :: adj.(b)
+        | Negated _ -> ())
+      pat.p_edges;
+    (* Check every constraint whose endpoints are both bound and that
+       involves pattern node [just_bound]. *)
+    let edges_ok just_bound =
+      List.for_all
+        (fun (a, c, b) ->
+          if (a <> just_bound && b <> just_bound) || not (bound.(a) && bound.(b))
+          then true
+          else
+            let na = binding.(a) and nb = binding.(b) in
+            match c with
+            | Direct p -> List.exists (fun (d, l) -> d = nb && p l) (Digraph.succ g na)
+            | Path rp -> Regpath.connects rp g ~src:na ~dst:nb
+            | Negated p ->
+              not (List.exists (fun (d, l) -> d = nb && p l) (Digraph.succ g na)))
+        pat.p_edges
+    in
+    (* Fail-first ordering with cheap scores: a node adjacent to the
+       bound region is scored by that neighbour's degree (its candidates
+       will come from adjacency); an unconnected node costs a global
+       scan, memoised. *)
+    let next_node () =
+      let best = ref (-1) in
+      let best_score = ref max_int in
+      for p = 0 to k - 1 do
+        if not bound.(p) then begin
+          let neighbour_degree =
+            List.fold_left
+              (fun acc q ->
+                if bound.(q) then
+                  let deg =
+                    Digraph.out_degree g binding.(q) + Digraph.in_degree g binding.(q)
+                  in
+                  min acc deg
+                else acc)
+              max_int adj.(p)
+          in
+          let score =
+            if neighbour_degree < max_int then neighbour_degree
+            else 1_000_000 + List.length (global_candidates p)
+          in
+          if score < !best_score then begin
+            best_score := score;
+            best := p
+          end
+        end
+      done;
+      !best
+    in
+    (* Candidates for [p]: when a positive edge connects p to an
+       already-bound node, enumerate along that edge; fall back to the
+       global list otherwise.  The node predicate is re-checked on
+       propagated candidates. *)
+    let candidates_for p =
+      let via_edge =
+        List.find_map
+          (fun (a, c, b) ->
+            match c with
+            | Negated _ -> None
+            | Direct f ->
+              if a <> p && b = p && bound.(a) then
+                Some
+                  (List.filter_map
+                     (fun (d, l) -> if f l then Some d else None)
+                     (Digraph.succ g binding.(a)))
+              else if a = p && b <> p && bound.(b) then
+                Some
+                  (List.filter_map
+                     (fun (s, l) -> if f l then Some s else None)
+                     (Digraph.pred g binding.(b)))
+              else None
+            | Path rp ->
+              if a <> p && b = p && bound.(a) then
+                Some (Regpath.reachable rp g binding.(a))
+              else None)
+          pat.p_edges
+      in
+      match via_edge with
+      | Some cands ->
+        List.sort_uniq compare
+          (List.filter (fun n -> pat.p_nodes.(p) n (Digraph.payload g n)) cands)
+      | None -> global_candidates p
+    in
+    (* Seed the pre-bound nodes. *)
+    let seeds_ok =
+      List.for_all
+        (fun (p, n) ->
+          if p < 0 || p >= k then false
+          else if bound.(p) then binding.(p) = n
+          else if pat.p_nodes.(p) n (Digraph.payload g n) then begin
+            binding.(p) <- n;
+            bound.(p) <- true;
+            edges_ok p
+          end
+          else false)
+        pre_bound
+    in
+    if seeds_ok then begin
+      let already = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bound in
+      let rec extend depth =
+        if depth = k then emit (Array.copy binding)
+        else begin
+          let p = next_node () in
+          let cands = candidates_for p in
+          bound.(p) <- true;
+          List.iter
+            (fun candidate ->
+              binding.(p) <- candidate;
+              if edges_ok p then extend (depth + 1))
+            cands;
+          binding.(p) <- -1;
+          bound.(p) <- false
+        end
+      in
+      extend already
+    end
+  end
+
+exception Found
+
+let exists ?pre_bound pat g =
+  match iter_embeddings ?pre_bound pat g ~emit:(fun _ -> raise Found) with
+  | () -> false
+  | exception Found -> true
+
+let all_embeddings ?pre_bound pat g =
+  let acc = ref [] in
+  iter_embeddings ?pre_bound pat g ~emit:(fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let count ?pre_bound pat g =
+  let n = ref 0 in
+  iter_embeddings ?pre_bound pat g ~emit:(fun _ -> incr n);
+  !n

@@ -1,0 +1,83 @@
+(** Regular path queries.
+
+    GraphLog introduced dashed edges carrying a regular expression over
+    edge labels: such an edge matches any *path* in the database whose
+    label word belongs to the expression's language (e.g. [index+] in the
+    paper's root-link example).  WG-Log inherits the construct, so the
+    matcher needs: given a start node and a label regex, which nodes are
+    reachable by a matching path?
+
+    Implementation: compile the regex to a Thompson NFA over labels and
+    run a BFS over the product (graph node x NFA state set).  The state
+    space is bounded by |V| * 2^|Q| in theory but the frontier is tiny in
+    practice; visited pairs are memoised per node via sorted state-id
+    lists.  Cost is O(|V| * |E| * |Q|)-ish on real inputs, good enough for
+    the fixpoint loops in [Gql_wglog]. *)
+
+(* The NFA engine lives in Gql_regex; a thin alias keeps callers dealing
+   only with this module. *)
+module Nfa_runner = struct
+  type 'e t = 'e Gql_regex.Nfa.t
+
+  let compile = Gql_regex.Nfa.compile
+  let start_set = Gql_regex.Nfa.start_set
+  let step = Gql_regex.Nfa.step
+  let accepting = Gql_regex.Nfa.accepts_set
+end
+
+type 'e t = { nfa : 'e Nfa_runner.t }
+
+let compile (pred : 'a -> 'e -> bool) (re : 'a Gql_regex.Syntax.t) : 'e t =
+  { nfa = Nfa_runner.compile pred re }
+
+let key_of_set set =
+  let b = Buffer.create 16 in
+  Array.iteri (fun i m -> if m then (Buffer.add_string b (string_of_int i); Buffer.add_char b ',')) set;
+  Buffer.contents b
+
+(** All nodes reachable from [start] along a path whose labels match the
+    expression.  The empty path counts when the expression is nullable
+    (so [start] itself may be returned). *)
+let reachable (rp : 'e t) (g : ('n, 'e) Digraph.t) (start : Digraph.node) :
+    Digraph.node list =
+  let init = Nfa_runner.start_set rp.nfa in
+  let seen : (int * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let results = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let enqueue node set =
+    if Array.exists Fun.id set then begin
+      let key = (node, key_of_set set) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        Queue.add (node, set) queue
+      end
+    end
+  in
+  enqueue start init;
+  while not (Queue.is_empty queue) do
+    let node, set = Queue.take queue in
+    if Nfa_runner.accepting rp.nfa set then Hashtbl.replace results node ();
+    List.iter
+      (fun (next, label) -> enqueue next (Nfa_runner.step rp.nfa set label))
+      (Digraph.succ g node)
+  done;
+  Hashtbl.fold (fun n () acc -> n :: acc) results [] |> List.sort compare
+
+(** Does a matching path lead from [src] to [dst]? *)
+let connects rp g ~src ~dst = List.mem dst (reachable rp g src)
+
+(** Reference implementation for property tests: enumerate all simple-ish
+    paths up to [max_len] hops and check their label words against the
+    regex via naive NFA word-matching.  Exponential; small graphs only. *)
+let reachable_naive (pred : 'a -> 'e -> bool) (re : 'a Gql_regex.Syntax.t)
+    (g : ('n, 'e) Digraph.t) (start : Digraph.node) ~max_len =
+  let nfa = Gql_regex.Nfa.compile pred re in
+  let results = Hashtbl.create 16 in
+  let rec go node word len =
+    if Gql_regex.Nfa.run_list nfa (List.rev word) then
+      Hashtbl.replace results node ();
+    if len < max_len then
+      List.iter (fun (next, l) -> go next (l :: word) (len + 1)) (Digraph.succ g node)
+  in
+  go start [] 0;
+  Hashtbl.fold (fun n () acc -> n :: acc) results [] |> List.sort compare

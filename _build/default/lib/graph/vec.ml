@@ -1,0 +1,40 @@
+(** Minimal growable array (OCaml 5.1 predates [Dynarray]).
+
+    Used for node/edge storage in {!Digraph}; amortised O(1) push. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get";
+  v.data.(i)
+
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set";
+  v.data.(i) <- x
+
+let push v x =
+  if v.len = Array.length v.data then begin
+    let bigger = Array.make (2 * Array.length v.data) v.dummy in
+    Array.blit v.data 0 bigger 0 v.len;
+    v.data <- bigger
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_list v = List.init v.len (fun i -> v.data.(i))

@@ -1,0 +1,1 @@
+lib/lang/label_re.ml: Gql_regex String

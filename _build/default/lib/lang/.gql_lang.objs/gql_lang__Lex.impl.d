@@ -1,0 +1,1 @@
+lib/lang/lex.ml: Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/lang/pp.ml: Array Buffer Gql_data Gql_wglog Gql_xmlgl Label_re List Option Printf String

@@ -1,0 +1,1 @@
+lib/lang/wglog_text.ml: Float Gql_data Gql_wglog Hashtbl Label_re Lex List Printf String

@@ -1,0 +1,1 @@
+lib/lang/xmlgl_text.ml: Float Gql_data Gql_xmlgl Hashtbl Lex List Printf String

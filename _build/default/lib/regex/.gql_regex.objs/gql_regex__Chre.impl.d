@@ -1,0 +1,1 @@
+lib/regex/chre.ml: Char List Nfa Printf String Syntax

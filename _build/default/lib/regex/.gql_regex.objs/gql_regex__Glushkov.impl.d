@@ -1,0 +1,1 @@
+lib/regex/glushkov.ml: Array List Syntax

@@ -1,0 +1,1 @@
+lib/regex/nfa.ml: Array Fun List Seq Syntax

@@ -1,0 +1,271 @@
+(** Character-level regular expressions.
+
+    These are the regexes that appear in query predicates — e.g. the
+    [/Van.*/] and [/[hH]olland/] patterns of the paper's running examples —
+    and in GraphLog-style textual conditions.  The supported syntax is the
+    classical core: literals, [.], character classes [[a-z0-9]] (with
+    ranges and [^] negation), grouping, alternation [|], and the postfix
+    operators [*], [+], [?].  Escaping with [\\] makes any metacharacter
+    literal; [\\d], [\\w], [\\s] are provided as conveniences.
+
+    A pattern by default must match the whole subject ({!matches});
+    {!search} finds a match anywhere in the subject.  Matching is
+    NFA-based (linear time), never backtracking. *)
+
+type cls =
+  | Any  (** [.] — any character *)
+  | Lit of char
+  | Set of { ranges : (char * char) list; negated : bool }
+
+type t = {
+  pattern : string;
+  case_insensitive : bool;
+  anchored : char Nfa.t;  (** whole-string automaton *)
+  floating : char Nfa.t;  (** [.°  re .°] automaton for {!search} *)
+  ast : cls Syntax.t;
+}
+
+exception Parse_error of string * int
+(** [Parse_error (msg, pos)] — syntax error at byte offset [pos]. *)
+
+let fail msg pos = raise (Parse_error (msg, pos))
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over the pattern string.                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse (s : string) : cls Syntax.t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c) !pos
+  in
+  let escape_class c =
+    (* Shared by both top-level escapes and escapes inside [...] sets. *)
+    match c with
+    | 'd' -> Set { ranges = [ ('0', '9') ]; negated = false }
+    | 'w' ->
+      Set
+        { ranges = [ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ];
+          negated = false }
+    | 's' ->
+      Set
+        { ranges = [ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r') ];
+          negated = false }
+    | 'n' -> Lit '\n'
+    | 't' -> Lit '\t'
+    | 'r' -> Lit '\r'
+    | c -> Lit c
+  in
+  let parse_set () =
+    (* Called after '['. *)
+    let negated =
+      match peek () with
+      | Some '^' -> advance (); true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let rec items first =
+      match peek () with
+      | None -> fail "unterminated character class" !pos
+      | Some ']' when not first -> advance ()
+      | Some c ->
+        advance ();
+        let c =
+          if c = '\\' then (
+            match peek () with
+            | None -> fail "dangling escape in class" !pos
+            | Some e ->
+              advance ();
+              (match escape_class e with
+              | Lit l -> l
+              | Set { ranges = rs; negated = false } ->
+                (* \d etc. inside a class: splice the ranges in. *)
+                ranges := rs @ !ranges;
+                (* Use a marker that adds nothing further. *)
+                '\000'
+              | _ -> fail "unsupported escape in class" !pos))
+          else c
+        in
+        if c <> '\000' then begin
+          match peek () with
+          | Some '-' when !pos + 1 < n && s.[!pos + 1] <> ']' ->
+            advance ();
+            (match peek () with
+            | Some hi ->
+              advance ();
+              if hi < c then fail "inverted range in class" !pos;
+              ranges := (c, hi) :: !ranges
+            | None -> fail "unterminated range" !pos)
+          | _ -> ranges := (c, c) :: !ranges
+        end;
+        items false
+    in
+    items true;
+    Set { ranges = List.rev !ranges; negated }
+  in
+  let rec parse_alt () =
+    let left = parse_seq () in
+    match peek () with
+    | Some '|' ->
+      advance ();
+      Syntax.alt left (parse_alt ())
+    | _ -> left
+  and parse_seq () =
+    let rec go acc =
+      match peek () with
+      | None | Some ')' | Some '|' -> acc
+      | _ -> go (Syntax.seq acc (parse_postfix ()))
+    in
+    go Syntax.eps
+  and parse_postfix () =
+    let atom = parse_atom () in
+    let parse_bound () =
+      (* {n}, {n,}, {n,m} — desugared by expansion; bounds are capped to
+         keep adversarial patterns from exploding the automaton *)
+      let number () =
+        let start = !pos in
+        while (match peek () with Some c when c >= '0' && c <= '9' -> true | _ -> false) do
+          advance ()
+        done;
+        if !pos = start then None
+        else Some (int_of_string (String.sub s start (!pos - start)))
+      in
+      let lo = number () in
+      match lo with
+      | None -> fail "expected a number in {}" !pos
+      | Some lo ->
+        if lo > 64 then fail "repetition bound too large (max 64)" !pos;
+        let hi =
+          match peek () with
+          | Some ',' -> (
+            advance ();
+            match number () with
+            | Some hi ->
+              if hi > 64 then fail "repetition bound too large (max 64)" !pos;
+              if hi < lo then fail "inverted repetition bounds" !pos;
+              `Upto hi
+            | None -> `Unbounded)
+          | _ -> `Exactly
+        in
+        (match peek () with
+        | Some '}' -> advance ()
+        | _ -> fail "expected '}'" !pos);
+        (lo, hi)
+    in
+    let repeat r (lo, hi) =
+      let prefix = Syntax.seq_list (List.init lo (fun _ -> r)) in
+      match hi with
+      | `Exactly -> prefix
+      | `Unbounded -> Syntax.seq prefix (Syntax.star r)
+      | `Upto hi ->
+        Syntax.seq prefix
+          (Syntax.seq_list (List.init (hi - lo) (fun _ -> Syntax.opt r)))
+    in
+    let rec post r =
+      match peek () with
+      | Some '*' -> advance (); post (Syntax.star r)
+      | Some '+' -> advance (); post (Syntax.plus r)
+      | Some '?' -> advance (); post (Syntax.opt r)
+      | Some '{' -> advance (); post (repeat r (parse_bound ()))
+      | _ -> r
+    in
+    post atom
+  and parse_atom () =
+    match peek () with
+    | None -> fail "expected atom" !pos
+    | Some '(' ->
+      advance ();
+      let r = parse_alt () in
+      expect ')';
+      r
+    | Some '[' ->
+      advance ();
+      Syntax.sym (parse_set ())
+    | Some '.' ->
+      advance ();
+      Syntax.sym Any
+    | Some '\\' ->
+      advance ();
+      (match peek () with
+      | None -> fail "dangling escape" !pos
+      | Some c ->
+        advance ();
+        Syntax.sym (escape_class c))
+    | Some ('*' | '+' | '?') -> fail "quantifier with nothing to repeat" !pos
+    | Some ')' -> fail "unbalanced ')'" !pos
+    | Some c ->
+      advance ();
+      Syntax.sym (Lit c)
+  in
+  let r = parse_alt () in
+  if !pos <> n then fail "trailing input" !pos;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Matching.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let cls_matches ~ci cls c =
+  let c = if ci then lower c else c in
+  match cls with
+  | Any -> true
+  | Lit l -> (if ci then lower l else l) = c
+  | Set { ranges; negated } ->
+    let inside =
+      List.exists
+        (fun (lo, hi) ->
+          if ci then
+            (* Case-insensitive sets: check both the raw and folded char. *)
+            (c >= lower lo && c <= lower hi) || (c >= lo && c <= hi)
+          else c >= lo && c <= hi)
+        ranges
+    in
+    if negated then not inside else inside
+
+let compile ?(case_insensitive = false) pattern =
+  let ast = parse pattern in
+  let pred cls c = cls_matches ~ci:case_insensitive cls c in
+  let anchored = Nfa.compile pred ast in
+  let dot_star = Syntax.star (Syntax.sym Any) in
+  let floating = Nfa.compile pred Syntax.(seq dot_star (seq ast dot_star)) in
+  { pattern; case_insensitive; anchored; floating; ast }
+
+let compile_opt ?case_insensitive pattern =
+  match compile ?case_insensitive pattern with
+  | t -> Some t
+  | exception Parse_error _ -> None
+
+let matches t subject = Nfa.run t.anchored (String.to_seq subject)
+let search t subject = Nfa.run t.floating (String.to_seq subject)
+let pattern t = t.pattern
+let ast t = t.ast
+
+(* ------------------------------------------------------------------ *)
+(* Reference matcher (Brzozowski derivatives) — used by property tests *)
+(* to cross-check the NFA engine on random patterns and subjects.      *)
+(* ------------------------------------------------------------------ *)
+
+let rec derive ~ci c (r : cls Syntax.t) : cls Syntax.t =
+  let open Syntax in
+  match r with
+  | Empty | Eps -> Empty
+  | Sym cls -> if cls_matches ~ci cls c then Eps else Empty
+  | Seq (a, b) ->
+    let da_b = seq (derive ~ci c a) b in
+    if nullable a then alt da_b (derive ~ci c b) else da_b
+  | Alt (a, b) -> alt (derive ~ci c a) (derive ~ci c b)
+  | Star a -> seq (derive ~ci c a) (star a)
+  | Plus a -> seq (derive ~ci c a) (star a)
+  | Opt a -> derive ~ci c a
+
+let matches_reference t subject =
+  let r = ref t.ast in
+  String.iter (fun c -> r := derive ~ci:t.case_insensitive c !r) subject;
+  Syntax.nullable !r

@@ -1,0 +1,120 @@
+(** Glushkov (position) automata.
+
+    DTD content models such as [(title?, price, AUTHOR°)] (where ° is the
+    Kleene star) are regular
+    expressions over element names, and the XML 1.0 rule that content
+    models be *deterministic* (1-unambiguous) is exactly determinism of
+    the Glushkov automaton.  This module builds the automaton for a
+    regex over an arbitrary symbol type with equality, exposes acceptance
+    over symbol sequences, and reports whether the expression is
+    1-unambiguous. *)
+
+type 'a t = {
+  n_positions : int;
+  syms : 'a array;  (** symbol at each position, 1-based positions 1..n *)
+  first : int list;
+  last : int list;
+  follow : int list array;  (** follow.(p) for p in 1..n; index 0 unused *)
+  nullable : bool;
+}
+
+(** Build the position automaton.  Positions number the symbol leaves of
+    the expression left to right, starting at 1; state 0 is the initial
+    state. *)
+let build (re : 'a Syntax.t) : 'a t =
+  let syms = Array.of_list (Syntax.symbols re) in
+  let n = Array.length syms in
+  let counter = ref 0 in
+  (* Annotate: recompute first/last/nullable structurally, assigning
+     positions in the same left-to-right order as [Syntax.symbols]. *)
+  let follow = Array.make (n + 1) [] in
+  let add_follow p q = follow.(p) <- q :: follow.(p) in
+  (* returns (nullable, first, last) *)
+  let rec go = function
+    | Syntax.Empty -> (false, [], [])
+    | Syntax.Eps -> (true, [], [])
+    | Syntax.Sym _ ->
+      incr counter;
+      let p = !counter in
+      (false, [ p ], [ p ])
+    | Syntax.Seq (a, b) ->
+      let na, fa, la = go a in
+      let nb, fb, lb = go b in
+      List.iter (fun p -> List.iter (fun q -> add_follow p q) fb) la;
+      let first = if na then fa @ fb else fa in
+      let last = if nb then lb @ la else lb in
+      (na && nb, first, last)
+    | Syntax.Alt (a, b) ->
+      let na, fa, la = go a in
+      let nb, fb, lb = go b in
+      (na || nb, fa @ fb, la @ lb)
+    | Syntax.Star a ->
+      let _, fa, la = go a in
+      List.iter (fun p -> List.iter (fun q -> add_follow p q) fa) la;
+      (true, fa, la)
+    | Syntax.Plus a ->
+      let na, fa, la = go a in
+      List.iter (fun p -> List.iter (fun q -> add_follow p q) fa) la;
+      (na, fa, la)
+    | Syntax.Opt a ->
+      let na, fa, la = go a in
+      ignore na;
+      (true, fa, la)
+  in
+  let nullable, first, last = go re in
+  let dedup l = List.sort_uniq compare l in
+  Array.iteri (fun i l -> if i > 0 then follow.(i) <- dedup l) follow;
+  {
+    n_positions = n;
+    syms;
+    first = dedup first;
+    last = dedup last;
+    follow;
+    nullable;
+  }
+
+let sym_at t p = t.syms.(p - 1)
+
+(** Determinism (= 1-unambiguity of the source expression): no state has
+    two outgoing transitions on the same symbol. *)
+let deterministic ?(equal = ( = )) t =
+  let distinct_syms ps =
+    let rec go = function
+      | [] -> true
+      | p :: rest ->
+        (not (List.exists (fun q -> equal (sym_at t p) (sym_at t q)) rest))
+        && go rest
+    in
+    go ps
+  in
+  distinct_syms t.first
+  && Array.for_all distinct_syms
+       (Array.sub t.follow 1 (max 0 (Array.length t.follow - 1)))
+
+(** Acceptance of a symbol sequence. *)
+let accepts ?(equal = ( = )) t word =
+  (* Current state: None = initial, Some set = set of positions. *)
+  let step positions sym =
+    List.filter (fun p -> equal (sym_at t p) sym) positions
+  in
+  let rec go current = function
+    | [] ->
+      (match current with
+      | None -> t.nullable
+      | Some ps -> List.exists (fun p -> List.mem p t.last) ps)
+    | sym :: rest ->
+      let nexts =
+        match current with
+        | None -> step t.first sym
+        | Some ps ->
+          List.sort_uniq compare
+            (List.concat_map (fun p -> step t.follow.(p) sym) ps)
+      in
+      if nexts = [] then false else go (Some nexts) rest
+  in
+  go None word
+
+(** First symbols that could legally start a word, for error reporting. *)
+let expected_first ?(equal = ( = )) t =
+  let add acc s = if List.exists (equal s) acc then acc else s :: acc in
+  List.rev (List.fold_left (fun acc p -> add acc (sym_at t p)) [] t.first)

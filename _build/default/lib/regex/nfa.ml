@@ -1,0 +1,168 @@
+(** Thompson construction and subset simulation.
+
+    The NFA is generic in the input token type ['tok]: each symbol leaf of
+    the regex is compiled to a predicate ['tok -> bool] supplied by the
+    caller.  Simulation maintains the epsilon-closed frontier of states, so
+    matching a word of length [n] against an NFA with [m] states and [t]
+    transitions costs O(n * t) — no exponential blow-up and no backtracking,
+    which matters because query predicates run once per candidate node
+    during pattern matching. *)
+
+type 'tok t = {
+  n_states : int;
+  start : int;
+  accept : int;
+  (* eps.(q) lists the epsilon successors of q. *)
+  eps : int list array;
+  (* delta.(q) lists (predicate, successor) pairs. *)
+  delta : ('tok -> bool) list array * int list array;
+}
+
+(* Transitions are stored as two parallel arrays to avoid allocating tuples
+   on the hot path of [step]. *)
+
+type 'tok builder = {
+  mutable next : int;
+  mutable b_eps : (int * int) list;
+  mutable b_delta : (int * ('tok -> bool) * int) list;
+}
+
+let new_state b =
+  let s = b.next in
+  b.next <- s + 1;
+  s
+
+let add_eps b p q = b.b_eps <- (p, q) :: b.b_eps
+let add_trans b p f q = b.b_delta <- (p, f, q) :: b.b_delta
+
+(** [compile pred re] builds the Thompson NFA of [re], mapping each symbol
+    [s] to the predicate [pred s]. *)
+let compile (pred : 'a -> 'tok -> bool) (re : 'a Syntax.t) : 'tok t =
+  let b = { next = 0; b_eps = []; b_delta = [] } in
+  (* Each construction returns (entry, exit). *)
+  let rec go = function
+    | Syntax.Empty ->
+      let i = new_state b and o = new_state b in
+      (i, o)
+    | Syntax.Eps ->
+      let i = new_state b and o = new_state b in
+      add_eps b i o;
+      (i, o)
+    | Syntax.Sym s ->
+      let i = new_state b and o = new_state b in
+      add_trans b i (pred s) o;
+      (i, o)
+    | Syntax.Seq (x, y) ->
+      let ix, ox = go x in
+      let iy, oy = go y in
+      add_eps b ox iy;
+      (ix, oy)
+    | Syntax.Alt (x, y) ->
+      let i = new_state b and o = new_state b in
+      let ix, ox = go x in
+      let iy, oy = go y in
+      add_eps b i ix;
+      add_eps b i iy;
+      add_eps b ox o;
+      add_eps b oy o;
+      (i, o)
+    | Syntax.Star x ->
+      let i = new_state b and o = new_state b in
+      let ix, ox = go x in
+      add_eps b i ix;
+      add_eps b i o;
+      add_eps b ox ix;
+      add_eps b ox o;
+      (i, o)
+    | Syntax.Plus x ->
+      let ix, ox = go x in
+      let o = new_state b in
+      add_eps b ox ix;
+      add_eps b ox o;
+      (ix, o)
+    | Syntax.Opt x ->
+      let i = new_state b and o = new_state b in
+      let ix, ox = go x in
+      add_eps b i ix;
+      add_eps b i o;
+      add_eps b ox o;
+      (i, o)
+  in
+  let start, accept = go re in
+  let n = b.next in
+  let eps = Array.make n [] in
+  List.iter (fun (p, q) -> eps.(p) <- q :: eps.(p)) b.b_eps;
+  let preds = Array.make n [] and succs = Array.make n [] in
+  List.iter
+    (fun (p, f, q) ->
+      preds.(p) <- f :: preds.(p);
+      succs.(p) <- q :: succs.(p))
+    b.b_delta;
+  { n_states = n; start; accept; eps; delta = (preds, succs) }
+
+(** Epsilon closure of a state set, as a boolean membership array. *)
+let closure nfa (set : bool array) =
+  let stack = ref [] in
+  Array.iteri (fun q m -> if m then stack := q :: !stack) set;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | q :: rest ->
+      stack := rest;
+      List.iter
+        (fun q' ->
+          if not set.(q') then begin
+            set.(q') <- true;
+            stack := q' :: !stack
+          end)
+        nfa.eps.(q);
+      drain ()
+  in
+  drain ()
+
+let start_set nfa =
+  let set = Array.make nfa.n_states false in
+  set.(nfa.start) <- true;
+  closure nfa set;
+  set
+
+(** One simulation step: consume [tok] from state set [set]. *)
+let step nfa set tok =
+  let preds, succs = nfa.delta in
+  let out = Array.make nfa.n_states false in
+  let any = ref false in
+  Array.iteri
+    (fun q m ->
+      if m then
+        let rec go2 fs qs =
+          match fs, qs with
+          | f :: fs', q' :: qs' ->
+            if (not out.(q')) && f tok then begin
+              out.(q') <- true;
+              any := true
+            end;
+            go2 fs' qs'
+          | _, _ -> ()
+        in
+        go2 preds.(q) succs.(q))
+    set;
+  if !any then closure nfa out;
+  out
+
+let accepts_set nfa set = set.(nfa.accept)
+
+(** Full-word match of a token sequence. *)
+let run nfa (toks : 'tok Seq.t) =
+  let set = ref (start_set nfa) in
+  let alive = ref true in
+  Seq.iter
+    (fun tok ->
+      if !alive then begin
+        let s = step nfa !set tok in
+        set := s;
+        alive := Array.exists Fun.id s
+      end)
+    toks;
+  !alive && accepts_set nfa !set
+
+let run_list nfa toks = run nfa (List.to_seq toks)

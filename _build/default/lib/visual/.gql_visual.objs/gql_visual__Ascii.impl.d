@@ -1,0 +1,1 @@
+lib/visual/ascii.ml: Array Buffer Diagram Layout List Printf String

@@ -1,0 +1,1 @@
+lib/visual/builders.ml: Array Diagram Fun Gql_data Gql_regex Gql_wglog Gql_xmlgl Graph Hashtbl List Option Printf String Value

@@ -1,0 +1,1 @@
+lib/visual/diagram.ml: Float List String

@@ -1,0 +1,1 @@
+lib/visual/layout.ml: Array Diagram Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/visual/svg.ml: Buffer Diagram Float Layout List Printf String

@@ -1,0 +1,1 @@
+lib/wglog/ast.ml: Array Gql_data Gql_regex List Printf Schema

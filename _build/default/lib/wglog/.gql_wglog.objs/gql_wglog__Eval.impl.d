@@ -1,0 +1,1 @@
+lib/wglog/eval.ml: Array Ast Gql_data Gql_graph Gql_regex Graph Hashtbl List Option String Value

@@ -1,0 +1,1 @@
+lib/wglog/schema.ml: Gql_data Graph List Printf

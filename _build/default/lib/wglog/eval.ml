@@ -1,0 +1,526 @@
+(** WG-Log evaluation: embedding search plus deductive fixpoint.
+
+    Rule semantics follow G-Log: for every embedding of the red (query)
+    part in the database, the green (construction) part must exist; the
+    engine *adds* the missing nodes and edges.  Construction nodes are
+    Skolemised — keyed by (rule, node, bindings of the query nodes their
+    instance depends on) — so re-applying a rule never duplicates, which
+    both gives the deductive fixpoint its termination and implements the
+    aggregation triangle: a collecting node depends on no query binding
+    and is therefore created exactly once, with one [Collect] edge per
+    binding.
+
+    Programs iterate rules to fixpoint.  Two strategies, compared by
+    experiment E8:
+    - [`Naive]: every round matches the full graph;
+    - [`Semi_naive]: from round 2 on, each rule is re-matched once per
+      query edge with that edge restricted to the previous round's delta
+      (edges carry a generation stamp).  Rules whose query part contains
+      a regular-path edge fall back to naive matching for correctness
+      (a new edge can extend a path without being the matched edge). *)
+
+open Gql_data
+
+type stats = {
+  rounds : int;
+  embeddings_found : int;
+  nodes_added : int;
+  edges_added : int;
+}
+
+let condition_holds (c : Ast.condition) (v : Value.t) =
+  match c with
+  | Ast.Cmp (op, rhs) -> (
+    let cmp = Value.compare_values v rhs in
+    match op with
+    | Ast.Eq -> cmp = 0
+    | Ast.Neq -> cmp <> 0
+    | Ast.Lt -> cmp < 0
+    | Ast.Le -> cmp <= 0
+    | Ast.Gt -> cmp > 0
+    | Ast.Ge -> cmp >= 0)
+  | Ast.Re pattern ->
+    Gql_regex.Chre.search (Gql_regex.Chre.compile pattern) (Value.to_string v)
+
+(* --- query-part compilation ---------------------------------------- *)
+
+(* A data edge "carries" a WG-Log label when its name matches; Attribute
+   edges carry slot labels, Rel/Ref/Child edges carry relation labels.
+   Attribute edges are excluded from regular paths (paths navigate
+   structure, not slots). *)
+let label_matches lbl (e : Graph.edge) = e.Graph.name = lbl
+
+type neg_check = {
+  nc_anchor : int;  (** rule node id of the bound endpoint *)
+  nc_dir : [ `Out | `In ];  (** edge direction relative to the anchor *)
+  nc_label : string;
+  nc_spec : Ast.node;  (** what the unconstrained endpoint would match *)
+}
+
+type compiled_query = {
+  pattern : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern;
+  query_ids : int array;  (** pattern position -> rule node id *)
+  has_regex : bool;
+  n_pattern_edges : int;
+  neg_checks : neg_check list;
+      (** GraphLog negation with a free endpoint: NOT EXISTS any such
+          neighbour (the crossed edge universally quantifies the
+          otherwise-unconstrained node) *)
+  global_negs : (string * Ast.node * Ast.node) list;
+      (** both endpoints free: no matching edge anywhere in the graph *)
+}
+
+let node_pred (nd : Ast.node) : int -> Graph.node_kind -> bool =
+  match nd.Ast.n_kind with
+  | Ast.Entity (Some t) ->
+    fun _ kind ->
+      (match kind with Graph.Complex l -> l = t | Graph.Atom _ -> false)
+  | Ast.Entity None ->
+    fun _ kind ->
+      (match kind with Graph.Complex _ -> true | Graph.Atom _ -> false)
+  | Ast.Value const ->
+    fun _ kind ->
+      (match kind with
+      | Graph.Atom v ->
+        (match const with
+        | Some c -> Value.equal_values c v
+        | None -> true)
+        && List.for_all (fun cond -> condition_holds cond v) nd.Ast.n_cond
+      | Graph.Complex _ -> false)
+
+let compile_query (r : Ast.rule) : compiled_query =
+  let n = Array.length r.Ast.nodes in
+  (* A query node whose only incident query edges are Negated never
+     binds: the crossed edge reads "no such neighbour exists". *)
+  let pos_incident = Array.make n 0 in
+  let neg_incident = Array.make n 0 in
+  List.iter
+    (fun (e : Ast.edge) ->
+      match e.e_role, e.e_mode with
+      | Ast.Query, Ast.Negated ->
+        neg_incident.(e.e_src) <- neg_incident.(e.e_src) + 1;
+        neg_incident.(e.e_dst) <- neg_incident.(e.e_dst) + 1
+      | Ast.Query, (Ast.Plain | Ast.Regex _) ->
+        pos_incident.(e.e_src) <- pos_incident.(e.e_src) + 1;
+        pos_incident.(e.e_dst) <- pos_incident.(e.e_dst) + 1
+      | Ast.Construct, _ ->
+        (* green edges to a query node anchor it *)
+        if r.Ast.nodes.(e.e_src).n_role = Ast.Query then
+          pos_incident.(e.e_src) <- pos_incident.(e.e_src) + 1;
+        if r.Ast.nodes.(e.e_dst).n_role = Ast.Query then
+          pos_incident.(e.e_dst) <- pos_incident.(e.e_dst) + 1
+      | Ast.Query, Ast.Collect -> ())
+    r.Ast.edges;
+  let free_neg qid =
+    r.Ast.nodes.(qid).n_role = Ast.Query
+    && neg_incident.(qid) > 0 && pos_incident.(qid) = 0
+  in
+  let qids = List.filter (fun q -> not (free_neg q)) (Ast.query_nodes r) in
+  let query_ids = Array.of_list qids in
+  let pos_of = Hashtbl.create 8 in
+  Array.iteri (fun pos qid -> Hashtbl.replace pos_of qid pos) query_ids;
+  let p_nodes = Array.map (fun qid -> node_pred r.Ast.nodes.(qid)) query_ids in
+  let has_regex = ref false in
+  let neg_checks = ref [] in
+  let global_negs = ref [] in
+  let p_edges =
+    List.filter_map
+      (fun (e : Ast.edge) ->
+        if e.e_role <> Ast.Query then None
+        else
+          match e.e_mode with
+          | Ast.Negated when free_neg e.e_src && free_neg e.e_dst ->
+            global_negs :=
+              (e.e_label, r.Ast.nodes.(e.e_src), r.Ast.nodes.(e.e_dst))
+              :: !global_negs;
+            None
+          | Ast.Negated when free_neg e.e_src ->
+            neg_checks :=
+              { nc_anchor = e.e_dst; nc_dir = `In; nc_label = e.e_label;
+                nc_spec = r.Ast.nodes.(e.e_src) }
+              :: !neg_checks;
+            None
+          | Ast.Negated when free_neg e.e_dst ->
+            neg_checks :=
+              { nc_anchor = e.e_src; nc_dir = `Out; nc_label = e.e_label;
+                nc_spec = r.Ast.nodes.(e.e_dst) }
+              :: !neg_checks;
+            None
+          | _ ->
+            let src = Hashtbl.find pos_of e.e_src
+            and dst = Hashtbl.find pos_of e.e_dst in
+            let c =
+              match e.e_mode with
+              | Ast.Plain -> Gql_graph.Homo.Direct (label_matches e.e_label)
+              | Ast.Negated -> Gql_graph.Homo.Negated (label_matches e.e_label)
+              | Ast.Regex re ->
+                has_regex := true;
+                Gql_graph.Homo.Path
+                  (Gql_graph.Regpath.compile
+                     (fun lbl (de : Graph.edge) ->
+                       de.Graph.kind <> Graph.Attribute
+                       && (lbl = "*" || de.Graph.name = lbl))
+                     re)
+              | Ast.Collect -> assert false (* collect edges are green *)
+            in
+            Some (src, c, dst))
+      r.Ast.edges
+  in
+  {
+    pattern = { Gql_graph.Homo.p_nodes; p_edges };
+    query_ids;
+    has_regex = !has_regex;
+    n_pattern_edges = List.length p_edges;
+    neg_checks = List.rev !neg_checks;
+    global_negs = List.rev !global_negs;
+  }
+
+let global_negs_ok (data : Graph.t) (cq : compiled_query) =
+  List.for_all
+    (fun (label, src_spec, dst_spec) ->
+      let sp = node_pred src_spec and dp = node_pred dst_spec in
+      let found = ref false in
+      Gql_graph.Digraph.iter_edges
+        (fun ~src ~dst (e : Graph.edge) ->
+          if
+            (not !found)
+            && label_matches label e
+            && sp src (Graph.kind data src)
+            && dp dst (Graph.kind data dst)
+          then found := true)
+        data.Graph.g;
+      not !found)
+    cq.global_negs
+
+let neg_checks_ok (data : Graph.t) (cq : compiled_query) (full : int array) =
+  List.for_all
+    (fun nc ->
+      let anchor = full.(nc.nc_anchor) in
+      anchor < 0
+      ||
+      let neighbours =
+        match nc.nc_dir with
+        | `Out ->
+          List.filter_map
+            (fun (d, (e : Graph.edge)) ->
+              if label_matches nc.nc_label e then Some d else None)
+            (Graph.out data anchor)
+        | `In ->
+          List.filter_map
+            (fun (s, (e : Graph.edge)) ->
+              if label_matches nc.nc_label e then Some s else None)
+            (Graph.inn data anchor)
+      in
+      let spec = node_pred nc.nc_spec in
+      not (List.exists (fun m -> spec m (Graph.kind data m)) neighbours))
+    cq.neg_checks
+
+(** Embeddings of the query part; each result maps rule node id -> data
+    node (non-query nodes map to -1). *)
+let query_embeddings ?(pre_bound = []) (data : Graph.t) (r : Ast.rule)
+    (cq : compiled_query) : int array list =
+  let n = Array.length r.Ast.nodes in
+  if not (global_negs_ok data cq) then []
+  else begin
+  let out = ref [] in
+  Gql_graph.Homo.iter_embeddings ~pre_bound cq.pattern data.Graph.g ~emit:(fun emb ->
+      let full = Array.make n (-1) in
+      Array.iteri (fun pos qid -> full.(qid) <- emb.(pos)) cq.query_ids;
+      if neg_checks_ok data cq full then out := full :: !out);
+  List.rev !out
+  end
+
+(* --- construction --------------------------------------------------- *)
+
+(* The Skolem key of a construction node: bindings of the query nodes its
+   instance depends on — query nodes reachable from it through green
+   non-Collect edges (in either direction), hopping over other green
+   nodes. *)
+let determinants (r : Ast.rule) (cnode : int) : int list =
+  let n = Array.length r.Ast.nodes in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (e : Ast.edge) ->
+      if e.e_role = Ast.Construct && e.e_mode <> Ast.Collect then begin
+        adj.(e.e_src) <- e.e_dst :: adj.(e.e_src);
+        adj.(e.e_dst) <- e.e_src :: adj.(e.e_dst)
+      end)
+    r.Ast.edges;
+  let seen = Array.make n false in
+  let dets = ref [] in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      if r.Ast.nodes.(i).n_role = Ast.Query then dets := i :: !dets
+      else List.iter go adj.(i)
+    end
+  in
+  go cnode;
+  List.sort compare !dets
+
+type skolem_table = (int * int * int list, int) Hashtbl.t
+(** (rule index, construction node, determinant bindings) -> data node *)
+
+let rel_edge_exists data ~src ~dst ~label =
+  List.exists
+    (fun (d, (e : Graph.edge)) ->
+      d = dst && e.Graph.name = label && e.Graph.kind <> Graph.Attribute)
+    (Graph.out data src)
+
+let slot_edge_exists data ~src ~dst ~label =
+  List.exists
+    (fun (d, (e : Graph.edge)) ->
+      d = dst && e.Graph.name = label && e.Graph.kind = Graph.Attribute)
+    (Graph.out data src)
+
+(* G-Log semantics: the green part must EXIST for every red embedding;
+   creation is only the repair action.  This check attempts to satisfy
+   the construction nodes with existing graph nodes (anchored search —
+   candidates come from edges whose other endpoint is already resolved),
+   making rule application idempotent across runs. *)
+let green_part_exists (data : Graph.t) (r : Ast.rule) (emb : int array) : bool =
+  let cnodes = Ast.construct_nodes r in
+  if cnodes = [] then
+    (* edge-only green part: existence = all green edges already there *)
+    List.for_all
+      (fun (e : Ast.edge) ->
+        e.e_role <> Ast.Construct
+        ||
+        let src = emb.(e.e_src) and dst = emb.(e.e_dst) in
+        let is_slot =
+          match r.Ast.nodes.(e.e_dst).n_kind with
+          | Ast.Value _ -> true
+          | Ast.Entity _ -> false
+        in
+        if is_slot then slot_edge_exists data ~src ~dst ~label:e.e_label
+        else rel_edge_exists data ~src ~dst ~label:e.e_label)
+      r.Ast.edges
+  else begin
+    let green_edges =
+      List.filter (fun (e : Ast.edge) -> e.e_role = Ast.Construct) r.Ast.edges
+    in
+    let assign = Hashtbl.create 4 in
+    let resolve i =
+      if r.Ast.nodes.(i).n_role = Ast.Query then Some emb.(i)
+      else Hashtbl.find_opt assign i
+    in
+    let edge_ok (e : Ast.edge) =
+      match resolve e.e_src, resolve e.e_dst with
+      | Some src, Some dst ->
+        let is_slot =
+          match r.Ast.nodes.(e.e_dst).n_kind with
+          | Ast.Value _ -> true
+          | Ast.Entity _ -> false
+        in
+        if is_slot then slot_edge_exists data ~src ~dst ~label:e.e_label
+        else rel_edge_exists data ~src ~dst ~label:e.e_label
+      | _ -> true (* endpoint not yet assigned; checked later *)
+    in
+    let candidates c =
+      (* neighbours of a resolved endpoint along some green edge of c *)
+      List.fold_left
+        (fun acc (e : Ast.edge) ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            if e.e_src = c then
+              match resolve e.e_dst with
+              | Some d ->
+                Some
+                  (List.filter_map
+                     (fun (s, (de : Graph.edge)) ->
+                       if de.Graph.name = e.e_label then Some s else None)
+                     (Graph.inn data d))
+              | None -> None
+            else if e.e_dst = c then
+              match resolve e.e_src with
+              | Some s ->
+                Some
+                  (List.filter_map
+                     (fun (d, (de : Graph.edge)) ->
+                       if de.Graph.name = e.e_label then Some d else None)
+                     (Graph.out data s))
+              | None -> None
+            else None)
+        None green_edges
+    in
+    let rec solve pending =
+      match pending with
+      | [] -> List.for_all edge_ok green_edges
+      | _ -> (
+        (* pick an anchored pending node *)
+        let anchored =
+          List.find_opt (fun c -> candidates c <> None) pending
+        in
+        match anchored with
+        | None -> false (* floating construction node: cannot verify *)
+        | Some c ->
+          let rest = List.filter (fun x -> x <> c) pending in
+          let spec = node_pred r.Ast.nodes.(c) in
+          let cands = Option.value (candidates c) ~default:[] in
+          List.exists
+            (fun cand ->
+              if spec cand (Graph.kind data cand) then begin
+                Hashtbl.replace assign c cand;
+                let ok = List.for_all edge_ok green_edges && solve rest in
+                if not ok then Hashtbl.remove assign c;
+                ok
+              end
+              else false)
+            (List.sort_uniq compare cands))
+    in
+    solve cnodes
+  end
+
+(** Apply the construction part for one embedding.  Returns the number of
+    (nodes, edges) added. *)
+let apply_construction (data : Graph.t) (skolems : skolem_table)
+    ~(rule_idx : int) ~(gen : int) (r : Ast.rule) (emb : int array) :
+    int * int =
+  let nodes_added = ref 0 and edges_added = ref 0 in
+  let dets = Hashtbl.create 4 in
+  let det_of c =
+    match Hashtbl.find_opt dets c with
+    | Some d -> d
+    | None ->
+      let d = determinants r c in
+      Hashtbl.replace dets c d;
+      d
+  in
+  (* Resolve a rule node to a data node under this embedding, creating
+     Skolemised instances for construction nodes. *)
+  let resolve i =
+    if r.Ast.nodes.(i).n_role = Ast.Query then emb.(i)
+    else begin
+      let key = (rule_idx, i, List.map (fun q -> emb.(q)) (det_of i)) in
+      match Hashtbl.find_opt skolems key with
+      | Some dn -> dn
+      | None ->
+        let dn =
+          match r.Ast.nodes.(i).n_kind with
+          | Ast.Entity (Some t) -> Graph.add_complex data t
+          | Ast.Entity None -> Graph.add_complex data "entity"
+          | Ast.Value (Some v) -> Graph.add_atom data v
+          | Ast.Value None -> Graph.add_atom data (Value.string "")
+        in
+        incr nodes_added;
+        Hashtbl.replace skolems key dn;
+        dn
+    end
+  in
+  List.iter
+    (fun (e : Ast.edge) ->
+      if e.e_role = Ast.Construct then begin
+        let src = resolve e.e_src and dst = resolve e.e_dst in
+        let is_slot =
+          match r.Ast.nodes.(e.e_dst).n_kind with
+          | Ast.Value _ -> true
+          | Ast.Entity _ -> false
+        in
+        let exists =
+          if is_slot then
+            List.exists
+              (fun (d, (de : Graph.edge)) ->
+                d = dst && de.Graph.name = e.e_label
+                && de.Graph.kind = Graph.Attribute)
+              (Graph.out data src)
+          else rel_edge_exists data ~src ~dst ~label:e.e_label
+        in
+        if not exists then begin
+          let edge =
+            if is_slot then Graph.attr_edge e.e_label
+            else Graph.rel_edge ~gen e.e_label
+          in
+          Graph.link data ~src ~dst edge;
+          incr edges_added
+        end
+      end)
+    r.Ast.edges;
+  (!nodes_added, !edges_added)
+
+(* --- fixpoint -------------------------------------------------------- *)
+
+(* Semi-naive: for every positive Direct pattern edge, enumerate the data
+   edges added in the previous round, pin the pattern edge's endpoints to
+   that instance, and complete the embedding around it.  With seeded
+   search the per-round cost tracks the delta instead of the database. *)
+let delta_seeds (data : Graph.t) (cq : compiled_query) ~(last_gen : int) :
+    (int * int) list list =
+  List.concat
+    (List.map
+       (fun (src, c, dst) ->
+         match c with
+         | Gql_graph.Homo.Direct p ->
+           let seeds = ref [] in
+           Gql_graph.Digraph.iter_edges
+             (fun ~src:u ~dst:v (e : Graph.edge) ->
+               if e.Graph.gen = last_gen && p e then
+                 seeds := [ (src, u); (dst, v) ] :: !seeds)
+             data.Graph.g;
+           !seeds
+         | Gql_graph.Homo.Path _ | Gql_graph.Homo.Negated _ -> [])
+       cq.pattern.Gql_graph.Homo.p_edges)
+
+(** Run a program to fixpoint.  Mutates [data]; returns statistics. *)
+let run ?(strategy = `Semi_naive) ?(max_rounds = 1000) (data : Graph.t)
+    (p : Ast.program) : stats =
+  let errs = Ast.check_program p in
+  if errs <> [] then invalid_arg (String.concat "; " errs);
+  let compiled = List.map (fun r -> (r, compile_query r)) p.Ast.rules in
+  let skolems : skolem_table = Hashtbl.create 64 in
+  let total_emb = ref 0 and total_nodes = ref 0 and total_edges = ref 0 in
+  let round = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !round < max_rounds do
+    incr round;
+    let gen = !round in
+    let added_this_round = ref 0 in
+    List.iteri
+      (fun rule_idx (r, cq) ->
+        let embeddings =
+          if !round = 1 || strategy = `Naive || cq.has_regex
+             || cq.n_pattern_edges = 0
+          then query_embeddings data r cq
+          else
+            (* Semi-naive: union of delta-seeded matches. *)
+            let seeds = delta_seeds data cq ~last_gen:(gen - 1) in
+            let seen = Hashtbl.create 64 in
+            List.concat_map
+              (fun pre_bound ->
+                List.filter
+                  (fun emb ->
+                    if Hashtbl.mem seen emb then false
+                    else begin
+                      Hashtbl.replace seen emb ();
+                      true
+                    end)
+                  (query_embeddings ~pre_bound data r cq))
+              seeds
+        in
+        total_emb := !total_emb + List.length embeddings;
+        List.iter
+          (fun emb ->
+            if not (green_part_exists data r emb) then begin
+              let nn, ne =
+                apply_construction data skolems ~rule_idx ~gen r emb
+              in
+              total_nodes := !total_nodes + nn;
+              total_edges := !total_edges + ne;
+              added_this_round := !added_this_round + nn + ne
+            end)
+          embeddings)
+      compiled;
+    if !added_this_round = 0 then continue_ := false
+  done;
+  {
+    rounds = !round;
+    embeddings_found = !total_emb;
+    nodes_added = !total_nodes;
+    edges_added = !total_edges;
+  }
+
+(** Evaluate a goal (pure query rule): return its embeddings without
+    touching the database. *)
+let goal (data : Graph.t) (r : Ast.rule) : int array list =
+  let cq = compile_query r in
+  query_embeddings data r cq

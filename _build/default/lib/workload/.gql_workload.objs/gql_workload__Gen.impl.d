@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Fun Gql_data Gql_dtd Gql_xml Gql_xpath Graph List Printf Prng Value

@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Gql_lang Gql_wglog Gql_xmlgl Lazy

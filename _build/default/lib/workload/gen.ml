@@ -1,0 +1,279 @@
+(** Synthetic workload generators.
+
+    Four families, all seeded and size-parametric:
+
+    - {!bibliography}: documents over the paper's BOOK/AUTHOR DTD
+      (figure XML-GL-DTD2), with an optional defect rate for validation
+      experiments;
+    - {!greengrocer}: the supplied text's running products/vendors
+      database, including the vendor name value-join the examples use;
+    - {!people}: the PERSON/FULLADDR corpus of the aggregation figure
+      (E4), with a controllable fraction of persons lacking an address;
+    - {!hyperdocs}: GraphLog's hyperdocument link graphs (E5/E8) as a
+      data graph with [link]/[index] relations;
+    - {!random_tree}: depth/fanout-controlled trees with ID/IDREF noise
+      for scalability sweeps (E7). *)
+
+open Gql_xml.Tree
+
+let first_names =
+  [| "Serge"; "Sara"; "Dan"; "Stefano"; "Letizia"; "Paolo"; "Ernesto";
+     "Alice"; "Bob"; "Carla"; "David"; "Eva"; "Franz"; "Greta" |]
+
+let last_names =
+  [| "Abiteboul"; "Comai"; "Suciu"; "Ceri"; "Tanca"; "Fraternali";
+     "Damiani"; "Smith"; "Jones"; "Miller"; "Weber"; "Rossi"; "Kim" |]
+
+let words =
+  [| "Data"; "Web"; "Query"; "Graph"; "Semi"; "Structured"; "Visual";
+     "Language"; "System"; "Model"; "XML"; "Information"; "Pattern" |]
+
+let title rng =
+  Printf.sprintf "%s %s %s" (Prng.pick rng words) (Prng.pick rng words)
+    (Prng.pick rng words)
+
+(* --- bibliography ---------------------------------------------------- *)
+
+let book_dtd_text =
+  "<!ELEMENT bib (BOOK*)>\n\
+   <!ELEMENT BOOK (title?,price,AUTHOR*)>\n\
+   <!ATTLIST BOOK isbn CDATA #REQUIRED>\n\
+   <!ELEMENT title (#PCDATA)>\n\
+   <!ELEMENT price (#PCDATA)>\n\
+   <!ELEMENT AUTHOR (first-name,last-name)>\n\
+   <!ELEMENT first-name (#PCDATA)>\n\
+   <!ELEMENT last-name (#PCDATA)>"
+
+let book_dtd = Gql_dtd.Parse.parse_subset ~root_hint:"bib" book_dtd_text
+
+(** A bibliography with [n] books.  [defect_rate] (0.0-1.0) makes that
+    fraction of books violate the DTD in a random way (missing price,
+    misplaced title, author without last name) — used by E2. *)
+let bibliography ?(seed = 42) ?(defect_rate = 0.0) n : doc =
+  let rng = Prng.create seed in
+  let author () =
+    elt "AUTHOR"
+      [
+        elt "first-name" [ text (Prng.pick rng first_names) ];
+        elt "last-name" [ text (Prng.pick rng last_names) ];
+      ]
+  in
+  let book i =
+    let defective = Prng.float rng < defect_rate in
+    let isbn = Printf.sprintf "89-%05d-%d" i (Prng.int rng 10) in
+    let title_el =
+      if Prng.int rng 10 < 8 then [ elt "title" [ text (title rng) ] ] else []
+    in
+    let price_el =
+      [ elt "price" [ text (Printf.sprintf "%d.%02d" (10 + Prng.int rng 90) (Prng.int rng 100)) ] ]
+    in
+    let authors = List.init (Prng.int rng 4) (fun _ -> author ()) in
+    if not defective then
+      elt ~attrs:[ ("isbn", isbn) ] "BOOK" (title_el @ price_el @ authors)
+    else
+      match Prng.int rng 3 with
+      | 0 ->
+        (* missing price *)
+        elt ~attrs:[ ("isbn", isbn) ] "BOOK" (title_el @ authors)
+      | 1 ->
+        (* title after price: an ordered-content violation *)
+        elt ~attrs:[ ("isbn", isbn) ] "BOOK"
+          (price_el @ title_el @ authors)
+      | _ ->
+        (* author missing the last name *)
+        elt ~attrs:[ ("isbn", isbn) ] "BOOK"
+          (title_el @ price_el
+          @ [ elt "AUTHOR" [ elt "first-name" [ text (Prng.pick rng first_names) ] ] ])
+  in
+  doc (element "bib" (List.map book (List.init n Fun.id)))
+
+(* --- greengrocer ------------------------------------------------------ *)
+
+let vegetables =
+  [| "cabbage"; "carrot"; "leek"; "potato"; "onion"; "spinach" |]
+
+let fruits = [| "cherry"; "apple"; "pear"; "plum"; "grape"; "peach" |]
+
+let vendor_names =
+  [| "DeRuiter"; "Lafayette"; "VanDam"; "Miller"; "VanHouten"; "Smith";
+     "Garcia"; "Rossi" |]
+
+let countries = [| "holland"; "france"; "germany"; "italy"; "spain" |]
+
+(** The running greengrocer database: [n] products, [v] vendors; product
+    [vendor] children join vendor [name]s by value, as in the Xcerpt
+    examples. *)
+let greengrocer ?(seed = 7) ?(vendors = 5) n : doc =
+  let rng = Prng.create seed in
+  let vendors = max 1 (min vendors (Array.length vendor_names)) in
+  let vendor i =
+    elt "vendor"
+      [
+        elt "country" [ text countries.(i mod Array.length countries) ];
+        elt "name" [ text vendor_names.(i) ];
+      ]
+  in
+  let product _ =
+    let is_fruit = Prng.bool rng in
+    let name = Prng.pick rng (if is_fruit then fruits else vegetables) in
+    elt "product"
+      [
+        elt "type" [ text (if is_fruit then "fruit" else "vegetable") ];
+        elt "name" [ text name ];
+        elt "price"
+          [
+            elt "unit" [ text (if Prng.bool rng then "kilo" else "piece") ];
+            elt "value" [ text (Printf.sprintf "%d.%02d" (Prng.int rng 5) (Prng.int rng 100)) ];
+          ];
+        elt "vendor" [ text vendor_names.(Prng.int rng vendors) ];
+      ]
+  in
+  doc
+    (element "greengrocer"
+       [
+         Element (element "products" (List.init n product));
+         Element
+           (element "vendors" (List.init vendors vendor));
+       ])
+
+(* --- people ----------------------------------------------------------- *)
+
+(** The PERSON corpus of the aggregation figure: [n] persons, a fraction
+    [with_addr] of which carry a FULLADDR.  Persons share employers so
+    join queries have real fan-in. *)
+let people ?(seed = 11) ?(with_addr = 0.7) ?(companies = 8) n : doc =
+  let rng = Prng.create seed in
+  let company i = Printf.sprintf "company-%d" (i mod companies) in
+  let person i =
+    let fn = Prng.pick rng first_names and ln = Prng.pick rng last_names in
+    let base =
+      [
+        elt "firstname" [ text fn ];
+        elt "lastname" [ text ln ];
+        elt "age" [ text (string_of_int (16 + Prng.int rng 60)) ];
+        elt "salary" [ text (string_of_int (15000 + (Prng.int rng 40) * 1000)) ];
+        elt "employer" [ text (company i) ];
+      ]
+    in
+    let addr =
+      if Prng.float rng < with_addr then
+        [
+          elt "FULLADDR"
+            [
+              elt "street" [ text (Printf.sprintf "%d %s street" (1 + Prng.int rng 200) (Prng.pick rng words)) ];
+              elt "city" [ text (Prng.pick rng [| "Milano"; "Paris"; "Munich"; "Stanford"; "Delft" |]) ];
+            ];
+        ]
+      else []
+    in
+    elt ~attrs:[ ("id", Printf.sprintf "p%d" i) ] "PERSON" (base @ addr)
+  in
+  doc (element "people" (List.init n person))
+
+(* --- hyperdocuments ---------------------------------------------------- *)
+
+(** A hyperdocument graph in the GraphLog style: [n] Document entities;
+    ~[idx_fraction] of them are index documents pointing to [fanout]
+    children via [index] edges; the rest receive random [link] edges.
+    Returned directly as a data graph (these databases are graphs, not
+    documents). *)
+let hyperdocs ?(seed = 3) ?(fanout = 4) ?(link_factor = 2) n : Gql_data.Graph.t =
+  let open Gql_data in
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  let docs =
+    Array.init n (fun i ->
+        let d = Graph.add_complex g "Document" in
+        let t = Graph.add_atom g (Value.string (Printf.sprintf "doc-%d" i)) in
+        Graph.link g ~src:d ~dst:t (Graph.attr_edge "title");
+        d)
+  in
+  if n > 0 then Graph.add_root g docs.(0);
+  (* index tree: document i indexes children fanout*i+1 .. fanout*i+fanout *)
+  Array.iteri
+    (fun i d ->
+      for k = 1 to fanout do
+        let j = (fanout * i) + k in
+        if j < n then Graph.link g ~src:d ~dst:docs.(j) (Graph.rel_edge "index")
+      done)
+    docs;
+  (* random cross links *)
+  for _ = 1 to link_factor * n do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    if a <> b then Graph.link g ~src:docs.(a) ~dst:docs.(b) (Graph.rel_edge "link")
+  done;
+  g
+
+(** The restaurant database of the WG-Log figure: restaurants in cities,
+    a fraction of which offer menus. *)
+let restaurants ?(seed = 5) ?(menu_fraction = 0.6) n : Gql_data.Graph.t =
+  let open Gql_data in
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  let cities =
+    Array.map
+      (fun name ->
+        let c = Graph.add_complex g "City" in
+        let v = Graph.add_atom g (Value.string name) in
+        Graph.link g ~src:c ~dst:v (Graph.attr_edge "name");
+        c)
+      [| "Milano"; "Como"; "Torino"; "Roma" |]
+  in
+  for i = 0 to n - 1 do
+    let r = Graph.add_complex g "Restaurant" in
+    if i = 0 then Graph.add_root g r;
+    let nm = Graph.add_atom g (Value.string (Printf.sprintf "Trattoria %d" i)) in
+    Graph.link g ~src:r ~dst:nm (Graph.attr_edge "name");
+    Graph.link g ~src:r ~dst:(Prng.pick rng cities) (Graph.rel_edge "located-in");
+    if Prng.float rng < menu_fraction then begin
+      let menus = 1 + Prng.int rng 3 in
+      for m = 1 to menus do
+        let menu = Graph.add_complex g "Menu" in
+        let mn = Graph.add_atom g (Value.string (Printf.sprintf "menu-%d-%d" i m)) in
+        let mp =
+          Graph.add_atom g (Value.float (10.0 +. (Prng.float rng *. 40.0)))
+        in
+        Graph.link g ~src:menu ~dst:mn (Graph.attr_edge "name");
+        Graph.link g ~src:menu ~dst:mp (Graph.attr_edge "price");
+        Graph.link g ~src:r ~dst:menu (Graph.rel_edge "offers")
+      done
+    end
+  done;
+  g
+
+(* --- random trees ------------------------------------------------------ *)
+
+let tag_pool = [| "a"; "b"; "c"; "d"; "e"; "item"; "entry"; "node" |]
+
+(** Random tree with approximately [n] nodes, mean [fanout], tags from a
+    small pool, and [ref_density] ID/IDREF pairs per node (revealing
+    graph structure).  Used by the scalability sweeps. *)
+let random_tree ?(seed = 13) ?(fanout = 4) ?(ref_density = 0.05) n : doc =
+  let rng = Prng.create seed in
+  let counter = ref 0 in
+  let rec build budget depth =
+    incr counter;
+    let me = !counter in
+    let attrs = [ ("id", Printf.sprintf "n%d" me) ] in
+    let attrs =
+      if Prng.float rng < ref_density && me > 1 then
+        ("ref", Printf.sprintf "n%d" (1 + Prng.int rng (me - 1))) :: attrs
+      else attrs
+    in
+    let children =
+      if budget <= 1 || depth > 14 then
+        [ Text (Printf.sprintf "%d" (Prng.int rng 1000)) ]
+      else begin
+        let k = 1 + Prng.int rng fanout in
+        let share = max 1 ((budget - 1) / k) in
+        List.init k (fun _ -> Element (build share (depth + 1)))
+      end
+    in
+    element ~attrs (Prng.pick rng tag_pool) children
+  in
+  doc (build n 0)
+
+(** Parse + encode helpers used by benches. *)
+let to_graph (d : doc) : Gql_data.Graph.t = fst (Gql_data.Codec.encode d)
+
+let to_xpath_index (d : doc) : Gql_xpath.Index.t = Gql_xpath.Index.build d

@@ -1,0 +1,42 @@
+(** Deterministic PRNG (splitmix64).
+
+    Benchmarks and property corpora must be reproducible across runs and
+    machines, so nothing in the workload generators touches [Random];
+    every generator takes a seed and derives its stream from it. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t arr = arr.(int t (Array.length arr))
+
+let pick_list t l = List.nth l (int t (List.length l))
+
+(** Shuffle a copy of the array. *)
+let shuffle t arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

@@ -1,0 +1,1 @@
+lib/xml/ids.ml: Hashtbl List String Tree

@@ -1,0 +1,58 @@
+(** ID / IDREF indexing.
+
+    The reference mechanisms of XML (ID/IDREF pairs, the supplied text's
+    section on Xcerpt notes the same) are what turn document *trees* into
+    semi-structured *graphs*.  This module builds the index used by
+    [Gql_data] when materialising the graph: a map from ID value to the
+    path of the element carrying it, and the list of (path, attribute,
+    referenced id) triples.
+
+    Which attributes are ID-typed is configurable: without a DTD the
+    common convention (attribute named [id]) applies; with a DTD, the
+    declared attribute types decide (the predicates are injected by
+    [Gql_dtd] to avoid a dependency cycle). *)
+
+type t = {
+  ids : (string, Tree.path) Hashtbl.t;
+  refs : (Tree.path * string * string) list;  (** element path, attr name, target id *)
+  duplicates : string list;  (** ID values declared more than once *)
+}
+
+let default_is_id ~element:_ ~attr = String.lowercase_ascii attr = "id"
+
+let default_is_idref ~element:_ ~attr =
+  let a = String.lowercase_ascii attr in
+  a = "idref" || a = "ref" || a = "idrefs"
+
+let build ?(is_id = default_is_id) ?(is_idref = default_is_idref) root_el =
+  let ids = Hashtbl.create 64 in
+  let refs = ref [] in
+  let duplicates = ref [] in
+  Tree.iter_nodes
+    (fun path node ->
+      match node with
+      | Tree.Element e ->
+        List.iter
+          (fun (attr, value) ->
+            if is_id ~element:e.Tree.name ~attr then begin
+              if Hashtbl.mem ids value then duplicates := value :: !duplicates
+              else Hashtbl.add ids value path
+            end
+            else if is_idref ~element:e.Tree.name ~attr then
+              (* IDREFS: whitespace-separated list of targets. *)
+              List.iter
+                (fun target ->
+                  if target <> "" then refs := (path, attr, target) :: !refs)
+                (String.split_on_char ' ' value))
+          e.Tree.attrs
+      | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> ())
+    root_el;
+  { ids; refs = List.rev !refs; duplicates = List.rev !duplicates }
+
+let resolve t id = Hashtbl.find_opt t.ids id
+
+(** References whose target ID is not declared anywhere. *)
+let dangling t =
+  List.filter (fun (_, _, target) -> not (Hashtbl.mem t.ids target)) t.refs
+
+let all_ids t = Hashtbl.fold (fun id path acc -> (id, path) :: acc) t.ids []

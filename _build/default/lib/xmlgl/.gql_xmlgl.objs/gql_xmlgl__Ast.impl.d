@@ -1,0 +1,1 @@
+lib/xmlgl/ast.ml: Array Gql_data Gql_graph List Printf

@@ -1,0 +1,1 @@
+lib/xmlgl/construct.ml: Array Ast Codec Float Gql_data Gql_xml Graph Hashtbl List Matching Option Value

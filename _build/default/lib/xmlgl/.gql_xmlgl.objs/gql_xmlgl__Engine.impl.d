@@ -1,0 +1,1 @@
+lib/xmlgl/engine.ml: Ast Construct Gql_data Gql_xml List Matching

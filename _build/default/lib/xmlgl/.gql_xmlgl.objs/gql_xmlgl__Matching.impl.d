@@ -1,0 +1,1 @@
+lib/xmlgl/matching.ml: Array Ast Fun Gql_data Gql_graph Gql_regex Graph Hashtbl List Option Predicate Value

@@ -1,0 +1,1 @@
+lib/xmlgl/predicate.ml: Array Ast Gql_data Gql_regex Graph Hashtbl String Value

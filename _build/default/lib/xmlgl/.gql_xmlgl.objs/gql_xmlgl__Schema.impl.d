@@ -1,0 +1,1 @@
+lib/xmlgl/schema.ml: Fun Gql_data Gql_dtd Gql_regex Graph List Printf String

@@ -1,0 +1,100 @@
+(** Evaluation of XML-GL content predicates against a (partial) binding.
+
+    Predicates live on content circles and attribute dots in the query
+    graph; operands may refer to the node's own value ([Self]), to other
+    query nodes' values (value joins and the arithmetic conditions of
+    QBE-style condition boxes) and to constants.
+
+    Evaluation is three-valued in spirit but collapses to [false] on
+    missing information (an unbound reference or a non-numeric operand of
+    an arithmetic expression): semi-structured data is ragged by design
+    and a failed lookup is a non-match, never a crash. *)
+
+open Gql_data
+
+type env = {
+  data : Graph.t;
+  binding : int array;  (** query node id -> data node, or -1 *)
+}
+
+let node_value env qid =
+  if qid < 0 || qid >= Array.length env.binding then None
+  else
+    let dn = env.binding.(qid) in
+    if dn < 0 then None else Some (Graph.node_value env.data dn)
+
+let rec eval_operand env ~self (op : Ast.operand) : Value.t option =
+  match op with
+  | Ast.Const v -> Some v
+  | Ast.Self -> self
+  | Ast.Node_value qid -> node_value env qid
+  | Ast.Arith (aop, a, b) -> (
+    match eval_operand env ~self a, eval_operand env ~self b with
+    | Some x, Some y ->
+      let o =
+        match aop with
+        | Ast.Add -> `Add
+        | Ast.Sub -> `Sub
+        | Ast.Mul -> `Mul
+        | Ast.Div -> `Div
+      in
+      Value.arith o x y
+    | (Some _ | None), _ -> None)
+
+(* Regex predicates are compiled once per distinct pattern and cached;
+   rules are evaluated over thousands of candidate nodes. *)
+let regex_cache : (string, Gql_regex.Chre.t) Hashtbl.t = Hashtbl.create 16
+
+let compiled_regex pattern =
+  match Hashtbl.find_opt regex_cache pattern with
+  | Some t -> t
+  | None ->
+    let t = Gql_regex.Chre.compile pattern in
+    Hashtbl.replace regex_cache pattern t;
+    t
+
+let contains_sub ~needle hay =
+  let hl = String.length hay and nl = String.length needle in
+  let rec find i =
+    if i + nl > hl then false
+    else if String.sub hay i nl = needle then true
+    else find (i + 1)
+  in
+  nl = 0 || find 0
+
+let rec eval env ~self (p : Ast.predicate) : bool =
+  match p with
+  | Ast.Compare (op, a, b) -> (
+    match eval_operand env ~self a, eval_operand env ~self b with
+    | Some x, Some y -> (
+      let c = Value.compare_values x y in
+      match op with
+      | Ast.Eq -> c = 0
+      | Ast.Neq -> c <> 0
+      | Ast.Lt -> c < 0
+      | Ast.Le -> c <= 0
+      | Ast.Gt -> c > 0
+      | Ast.Ge -> c >= 0)
+    | (Some _ | None), _ -> false)
+  | Ast.Contains_str (a, needle) -> (
+    match eval_operand env ~self a with
+    | Some v -> contains_sub ~needle (Value.to_string v)
+    | None -> false)
+  | Ast.Starts_with (a, prefix) -> (
+    match eval_operand env ~self a with
+    | Some v ->
+      let s = Value.to_string v in
+      String.length prefix <= String.length s
+      && String.sub s 0 (String.length prefix) = prefix
+    | None -> false)
+  | Ast.Matches (a, pattern) -> (
+    match eval_operand env ~self a with
+    | Some v -> Gql_regex.Chre.search (compiled_regex pattern) (Value.to_string v)
+    | None -> false)
+  | Ast.And (a, b) -> eval env ~self a && eval env ~self b
+  | Ast.Or (a, b) -> eval env ~self a || eval env ~self b
+  | Ast.Not a -> not (eval env ~self a)
+
+(** Does the predicate only depend on the node itself (no cross-node
+    references)?  Such predicates are pushed into candidate selection. *)
+let is_local (p : Ast.predicate) = Ast.pred_refs p = []

@@ -1,0 +1,1 @@
+lib/xpath/ast.ml: Float List Printf String

@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Array Ast Float Hashtbl Index List Option Parse Printf String

@@ -1,0 +1,1 @@
+lib/xpath/index.ml: Array Buffer Gql_xml List

@@ -1,0 +1,1 @@
+lib/xpath/parse.ml: Ast List Printf String

@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Array Gen Gql_algebra Gql_data Gql_lang Gql_regex Gql_workload Gql_xmlgl List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Gql_core Gql_regex Gql_wglog Gql_workload Gql_xml Gql_xmlgl List String

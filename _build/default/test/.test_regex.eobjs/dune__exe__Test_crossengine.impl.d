@@ -1,0 +1,1 @@
+test/test_crossengine.ml: Alcotest Array Gen Gql_algebra Gql_core Gql_data Gql_lang Gql_wglog Gql_workload Gql_xml Gql_xmlgl Lazy List Printf QCheck QCheck_alcotest

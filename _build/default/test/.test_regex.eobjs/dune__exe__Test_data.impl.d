@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Codec Fun Gen Gql_data Gql_regex Gql_workload Gql_xml Graph List QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_dtd.ml: Alcotest Gen Gql_dtd Gql_regex Gql_workload Gql_xml List QCheck QCheck_alcotest

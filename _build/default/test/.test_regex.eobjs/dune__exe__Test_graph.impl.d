@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Algo Array Digraph Fun Gql_graph Gql_regex Homo List QCheck QCheck_alcotest Regpath String

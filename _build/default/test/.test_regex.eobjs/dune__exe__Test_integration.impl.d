@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Gen Gql_algebra Gql_core Gql_data Gql_dtd Gql_visual Gql_wglog Gql_workload Gql_xml Gql_xmlgl Lazy List QCheck QCheck_alcotest String

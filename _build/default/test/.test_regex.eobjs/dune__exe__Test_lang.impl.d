@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Gen Gql_lang Gql_regex Gql_wglog Gql_workload Gql_xmlgl List Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Chre Glushkov Gql_regex Nfa Printf QCheck QCheck_alcotest String Syntax

@@ -1,0 +1,1 @@
+test/test_visual.ml: Alcotest Ascii Builders Diagram Filename Gql_data Gql_lang Gql_regex Gql_visual Gql_wglog Gql_workload Gql_xml Gql_xmlgl Layout Lazy List Printf Svg Sys

@@ -1,0 +1,1 @@
+test/test_wglog.ml: Alcotest Array Ast Eval Gql_data Gql_lang Gql_wglog Gql_workload Graph List Schema Value

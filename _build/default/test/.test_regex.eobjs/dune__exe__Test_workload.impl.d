@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Gql_data Gql_dtd Gql_wglog Gql_workload Gql_xml Gql_xmlgl Gql_xpath Lazy List

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Char Gen Gql_xml Ids List Parser Printer Printf QCheck QCheck_alcotest String Tree

@@ -1,0 +1,1 @@
+test/test_xmlgl.ml: Alcotest Array Ast Engine Gql_data Gql_dtd Gql_lang Gql_regex Gql_workload Gql_xml Gql_xmlgl List Matching Option Predicate Printf Schema

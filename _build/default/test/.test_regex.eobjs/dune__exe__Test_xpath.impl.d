@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Gql_xml Gql_xpath List Printf String

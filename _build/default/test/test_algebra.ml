@@ -1,0 +1,124 @@
+(* Tests for Gql_algebra: plan construction, EXPLAIN rendering, and the
+   central equivalence property — plans (both strategies) produce the
+   same bindings as the direct Homo matcher. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let people_doc n = Gql_workload.Gen.people ~seed:3 n
+let people n = fst (Gql_data.Codec.encode (people_doc n))
+
+let q_src = Gql_workload.Queries.q3_src
+let query_of src =
+  match (Gql_lang.Xmlgl_text.parse_program src).Gql_xmlgl.Ast.rules with
+  | r :: _ -> r.Gql_xmlgl.Ast.query
+  | [] -> Alcotest.fail "no rule"
+
+let normalise bs = List.sort compare (List.map Array.to_list bs)
+
+let test_plan_structure () =
+  let data = people 20 in
+  let q = query_of q_src in
+  let compiled = Gql_xmlgl.Matching.compile data q in
+  let job = Gql_algebra.Planner.job_of_xmlgl compiled in
+  let plan = Gql_algebra.Planner.build data job in
+  (* 4 pattern nodes: 1 scan + 3 expands + 1 residual filter = 5 ops *)
+  check_int "operator count" 5 (Gql_algebra.Plan.size plan);
+  check_int "all vars bound" 4
+    (List.length (List.sort_uniq compare (Gql_algebra.Plan.vars plan)))
+
+let test_explain () =
+  let data = people 10 in
+  let s = Gql_algebra.Exec.explain_xmlgl data (query_of q_src) in
+  check "mentions scan" true (Gql_regex.Chre.search (Gql_regex.Chre.compile "scan") s);
+  check "mentions expand" true (Gql_regex.Chre.search (Gql_regex.Chre.compile "expand") s);
+  check "mentions filter" true (Gql_regex.Chre.search (Gql_regex.Chre.compile "filter") s)
+
+let test_greedy_starts_selective () =
+  (* greedy must not start from the most common node type *)
+  let data = people 30 in
+  let q = query_of q_src in
+  let s = Gql_algebra.Exec.explain_xmlgl ~strategy:`Greedy data q in
+  (* the deepest line (innermost op) is the scan; it must not scan the
+     most frequent label.  We just require a single scan (connected
+     pattern => no cross products). *)
+  let count_scans =
+    List.length
+      (List.filter
+         (fun l -> Gql_regex.Chre.search (Gql_regex.Chre.compile "scan") l)
+         (String.split_on_char '\n' s))
+  in
+  check_int "single scan" 1 count_scans
+
+let agree src data =
+  let q = query_of src in
+  let reference = normalise (Gql_xmlgl.Matching.run data q) in
+  let greedy = normalise (Gql_algebra.Exec.run_xmlgl ~strategy:`Greedy data q) in
+  let fixed = normalise (Gql_algebra.Exec.run_xmlgl ~strategy:`Fixed data q) in
+  reference = greedy && reference = fixed
+
+let test_equivalence_q3 () = check "q3" true (agree Gql_workload.Queries.q3_src (people 25))
+let test_equivalence_q6 () = check "q6 (negation)" true (agree Gql_workload.Queries.q6_src (people 25))
+let test_equivalence_q9 () = check "q9" true (agree Gql_workload.Queries.q9_src (people 25))
+
+let test_equivalence_bib () =
+  let data = fst (Gql_data.Codec.encode (Gql_workload.Gen.bibliography ~seed:9 15)) in
+  check "q2 (selection)" true (agree Gql_workload.Queries.q2_src data);
+  check "q7 (deep)" true (agree Gql_workload.Queries.q7_src data);
+  check "q8 (ordered)" true (agree Gql_workload.Queries.q8_src data)
+
+let test_equivalence_greengrocer () =
+  let data = fst (Gql_data.Codec.encode (Gql_workload.Gen.greengrocer ~seed:2 20)) in
+  check "q4 (value join)" true (agree Gql_workload.Queries.q4_src data);
+  check "q5 (regex)" true (agree Gql_workload.Queries.q5_src data)
+
+(* disconnected pattern -> cross product *)
+let test_cross_product () =
+  let data = people 5 in
+  let src = {|xmlgl
+rule
+query
+  node $a elem firstname
+  node $b elem lastname
+construct
+  node c new pair
+  root c
+end
+|} in
+  let q = query_of src in
+  let res = Gql_algebra.Exec.run_xmlgl data q in
+  check_int "5 x 5 pairs" 25 (List.length res);
+  let s = Gql_algebra.Exec.explain_xmlgl data q in
+  check "uses cross" true (Gql_regex.Chre.search (Gql_regex.Chre.compile "cross") s);
+  check "matches reference" true (agree src data)
+
+(* Property over random people-db sizes: both strategies agree with the
+   matcher on the full suite of XML-GL queries. *)
+let prop_strategies_agree =
+  QCheck.Test.make ~name:"plans agree with matcher on Q3/Q6" ~count:15
+    QCheck.(make Gen.(int_range 3 25))
+    (fun n ->
+      let data = people n in
+      agree Gql_workload.Queries.q3_src data
+      && agree Gql_workload.Queries.q6_src data)
+
+let () =
+  Alcotest.run "gql_algebra"
+    [
+      ( "planner",
+        [
+          Alcotest.test_case "plan structure" `Quick test_plan_structure;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "greedy single scan" `Quick test_greedy_starts_selective;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "q3 people" `Quick test_equivalence_q3;
+          Alcotest.test_case "q6 negation" `Quick test_equivalence_q6;
+          Alcotest.test_case "q9 grouping" `Quick test_equivalence_q9;
+          Alcotest.test_case "bibliography queries" `Quick test_equivalence_bib;
+          Alcotest.test_case "greengrocer queries" `Quick test_equivalence_greengrocer;
+          Alcotest.test_case "cross product" `Quick test_cross_product;
+          QCheck_alcotest.to_alcotest prop_strategies_agree;
+        ] );
+    ]

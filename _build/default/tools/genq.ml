@@ -1,0 +1,65 @@
+let () =
+  let write name src =
+    let oc = open_out (Printf.sprintf "queries/%s.gql" name) in
+    output_string oc src;
+    close_out oc
+  in
+  let open Gql_workload.Queries in
+  write "q1-all-books" q1_src;
+  write "q2-expensive-titles" q2_src;
+  write "q3-persons-with-address" q3_src;
+  write "q4-product-origins" q4_src;
+  write "q5-van-vendors" q5_src;
+  write "q6-homeless" q6_src;
+  write "q7-deep-last-names" q7_src;
+  write "q8-ordered" q8_src;
+  write "q9-by-employer" q9_src;
+  write "q10-rest-list" q10_src;
+  write "q11-siblings" q11_src;
+  write "q12-root-links" q12_src;
+  (* sample data *)
+  let save path s = let oc = open_out path in output_string oc s; close_out oc in
+  let bib = Gql_workload.Gen.bibliography ~seed:1 30 in
+  let bib_with_dtd =
+    { bib with
+      Gql_xml.Tree.doctype =
+        Some
+          { Gql_xml.Tree.dt_name = "bib"; system_id = None; public_id = None;
+            internal_subset = Some ("\n" ^ Gql_workload.Gen.book_dtd_text ^ "\n") } }
+  in
+  save "data/bibliography.xml" (Gql_xml.Printer.to_string_pretty bib_with_dtd);
+  save "data/greengrocer.xml" (Gql_xml.Printer.to_string_pretty (Gql_workload.Gen.greengrocer ~seed:1 25));
+  save "data/people.xml" (Gql_xml.Printer.to_string_pretty (Gql_workload.Gen.people ~seed:1 25));
+  (* the paper's figures as SVG *)
+  (try Unix.mkdir "figures" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun (e : Gql_workload.Queries.entry) ->
+      match e.kind with
+      | `Xmlgl p ->
+        List.iteri
+          (fun i r ->
+            let d =
+              Gql_visual.Builders.of_xmlgl_rule
+                ~title:(e.name ^ ": " ^ e.description) r
+            in
+            let path =
+              if i = 0 then Printf.sprintf "figures/%s.svg" (String.lowercase_ascii e.name)
+              else Printf.sprintf "figures/%s-%d.svg" (String.lowercase_ascii e.name) i
+            in
+            Gql_visual.Svg.write_file path d)
+          (Lazy.force p).Gql_xmlgl.Ast.rules
+      | `Wglog p ->
+        List.iteri
+          (fun i r ->
+            let d =
+              Gql_visual.Builders.of_wglog_rule
+                ~title:(e.name ^ ": " ^ e.description) r
+            in
+            let path =
+              if i = 0 then Printf.sprintf "figures/%s.svg" (String.lowercase_ascii e.name)
+              else Printf.sprintf "figures/%s-%d.svg" (String.lowercase_ascii e.name) i
+            in
+            Gql_visual.Svg.write_file path d)
+          (Lazy.force p).Gql_wglog.Ast.rules)
+    Gql_workload.Queries.suite;
+  print_endline "generated"
