@@ -10,22 +10,103 @@
    characterisation is the substituted evaluation recorded in
    EXPERIMENTS.md. *)
 
+type timing = { median_ms : float; min_ms : float }
+
 let timed ?(repeat = 3) f =
-  (* median-of-k wall-clock; good enough at these durations *)
+  (* One warm-up run first (page in code paths, fill caches), then
+     median-of-k wall clock; the minimum is kept as the low-noise
+     floor.  Tables print the median, BENCH JSON records both. *)
+  ignore (f ());
   let runs =
     List.init repeat (fun _ ->
         let t0 = Unix.gettimeofday () in
         let r = f () in
-        (Unix.gettimeofday () -. t0, r))
+        ((Unix.gettimeofday () -. t0) *. 1000.0, r))
   in
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) runs in
-  let t, r = List.nth sorted (repeat / 2) in
-  (t *. 1000.0, r)
+  let times = List.sort compare (List.map fst runs) in
+  let _, r = List.nth runs (repeat - 1) in
+  ( { median_ms = List.nth times (repeat / 2); min_ms = List.hd times }, r )
+
+let ms (t : timing) = t.median_ms
 
 let header title =
   Printf.printf "\n================ %s ================\n" title
 
 let row fmt = Printf.printf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable trajectory (--json -> BENCH_PR1.json)              *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | J_int of int
+  | J_num of float
+  | J_str of string
+  | J_bool of bool
+  | J_list of json list
+  | J_obj of (string * json) list
+
+let rec json_to_buf buf = function
+  | J_int i -> Buffer.add_string buf (string_of_int i)
+  | J_num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.1f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | J_str s ->
+    Buffer.add_char buf '"';
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  | J_bool b -> Buffer.add_string buf (string_of_bool b)
+  | J_list l ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        json_to_buf buf x)
+      l;
+    Buffer.add_char buf ']'
+  | J_obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        json_to_buf buf (J_str k);
+        Buffer.add_string buf ": ";
+        json_to_buf buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let records : json list ref = ref []
+
+(** Append one measurement record; every experiment pushes its table
+    rows here so [--json] can dump the whole trajectory. *)
+let record ~experiment fields =
+  records := J_obj (("experiment", J_str experiment) :: fields) :: !records
+
+let j_timing (t : timing) =
+  [ ("median_ms", J_num t.median_ms); ("min_ms", J_num t.min_ms) ]
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  json_to_buf buf
+    (J_obj
+       [
+         ("schema", J_str "bench-trajectory-v1");
+         ("records", J_list (List.rev !records));
+       ]);
+  Buffer.add_char buf '\n';
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s (%d records)\n" path (List.length !records)
 
 (* ------------------------------------------------------------------ *)
 (* E1 — the WG-Log restaurant figure at scale                          *)
@@ -36,7 +117,7 @@ let e1 () =
   row "%8s  %10s  %8s  %10s  %10s\n" "n_rest" "embeddings" "members" "rounds" "ms";
   List.iter
     (fun n ->
-      let ms, (stats, members) =
+      let tm, (stats, members) =
         timed (fun () ->
             let g = Gql_workload.Gen.restaurants ~seed:41 ~menu_fraction:0.6 n in
             let p =
@@ -55,8 +136,14 @@ let e1 () =
             in
             (stats, members))
       in
+      record ~experiment:"e1"
+        ([ ("n_restaurants", J_int n);
+           ("embeddings", J_int stats.Gql_wglog.Eval.embeddings_found);
+           ("members", J_int members);
+           ("rounds", J_int stats.Gql_wglog.Eval.rounds) ]
+        @ j_timing tm);
       row "%8d  %10d  %8d  %10d  %10.2f\n" n stats.Gql_wglog.Eval.embeddings_found
-        members stats.Gql_wglog.Eval.rounds ms)
+        members stats.Gql_wglog.Eval.rounds (ms tm))
     [ 100; 500; 2000 ]
 
 (* ------------------------------------------------------------------ *)
@@ -90,7 +177,7 @@ let e2 () =
       in
       row "%12.2f  %8d  %9d%%  %12.2f  %12.2f\n" rate (List.length corpus)
         (100 * agree / List.length corpus)
-        dtd_ms gl_ms)
+        (ms dtd_ms) (ms gl_ms))
     [ 0.0; 0.3; 0.7; 1.0 ];
   (* the separating document *)
   let swapped = "<BOOK isbn=\"1\"><price>1</price><title>t</title></BOOK>" in
@@ -104,7 +191,7 @@ let e2 () =
 (* E3/E4 — the two XML-GL figures as queries                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_fig name src xpath mk_db sizes =
+let run_fig ~tag name src xpath mk_db sizes =
   header name;
   row "%8s  %9s  %9s  %11s  %11s\n" "size" "gl_hits" "xp_hits" "xmlgl_ms" "xpath_ms";
   List.iter
@@ -117,17 +204,23 @@ let run_fig name src xpath mk_db sizes =
       let xp_ms, xp =
         timed (fun () -> List.length (Gql_core.Gql.xpath_select db xpath))
       in
-      row "%8d  %9d  %9d  %11.2f  %11.2f\n" n gl xp gl_ms xp_ms)
+      let nodes, edges = Gql_core.Gql.stats db in
+      record ~experiment:tag
+        [ ("size", J_int n); ("graph_nodes", J_int nodes);
+          ("graph_edges", J_int edges); ("xmlgl_hits", J_int gl);
+          ("xpath_hits", J_int xp); ("xmlgl", J_obj (j_timing gl_ms));
+          ("xpath", J_obj (j_timing xp_ms)) ];
+      row "%8d  %9d  %9d  %11.2f  %11.2f\n" n gl xp (ms gl_ms) (ms xp_ms))
     sizes
 
 let e3 () =
-  run_fig "E3  figure XML-GL-simple: all BOOK elements (deep copy)"
+  run_fig ~tag:"e3" "E3  figure XML-GL-simple: all BOOK elements (deep copy)"
     Gql_workload.Queries.q1_src Gql_workload.Queries.q1_xpath
     (fun n -> Gql_core.Gql.of_document (Gql_workload.Gen.bibliography ~seed:42 n))
     [ 50; 200; 1000 ]
 
 let e4 () =
-  run_fig "E4  figure XML-GL-aggregate: persons with FULLADDR projected"
+  run_fig ~tag:"e4" "E4  figure XML-GL-aggregate: persons with FULLADDR projected"
     Gql_workload.Queries.q3_src Gql_workload.Queries.q3_xpath
     (fun n -> Gql_core.Gql.of_document (Gql_workload.Gen.people ~seed:43 n))
     [ 50; 200; 1000 ]
@@ -159,7 +252,11 @@ let e5 () =
             in
             (Gql_wglog.Eval.run g p).Gql_wglog.Eval.edges_added)
       in
-      row "%8d  %12d  %12.2f  %12d  %12.2f\n" n sib sib_ms root root_ms)
+      record ~experiment:"e5"
+        [ ("docs", J_int n); ("sibling_edges", J_int sib);
+          ("root_edges", J_int root); ("sibling", J_obj (j_timing sib_ms));
+          ("root", J_obj (j_timing root_ms)) ];
+      row "%8d  %12d  %12.2f  %12d  %12.2f\n" n sib (ms sib_ms) root (ms root_ms))
     [ 50; 150; 400 ]
 
 (* ------------------------------------------------------------------ *)
@@ -216,7 +313,13 @@ let e7 () =
           let xp_ms, _ =
             timed (fun () -> List.length (Gql_core.Gql.xpath_select db xpath))
           in
-          row "%-10s  %8d  %8d  %11.2f  %11.2f  %11.2f\n" name n hits gl_ms alg_ms xp_ms)
+          record ~experiment:"e7"
+            [ ("query", J_str name); ("size", J_int n); ("hits", J_int hits);
+              ("xmlgl", J_obj (j_timing gl_ms));
+              ("algebra", J_obj (j_timing alg_ms));
+              ("xpath", J_obj (j_timing xp_ms)) ];
+          row "%-10s  %8d  %8d  %11.2f  %11.2f  %11.2f\n" name n hits (ms gl_ms)
+            (ms alg_ms) (ms xp_ms))
         [ 100; 400; 1600 ])
     cases
 
@@ -255,11 +358,20 @@ let e8 () =
       in
       (* embeddings_found is the work metric: naive re-derives every old
          embedding each round, semi-naive only touches the delta *)
+      record ~experiment:"e8"
+        [ ("chain", J_int n);
+          ("derived", J_int stats.Gql_wglog.Eval.edges_added);
+          ("rounds", J_int stats.Gql_wglog.Eval.rounds);
+          ("naive_embeddings", J_int naive_stats.Gql_wglog.Eval.embeddings_found);
+          ("semi_embeddings", J_int stats.Gql_wglog.Eval.embeddings_found);
+          ("naive", J_obj (j_timing naive_ms));
+          ("semi", J_obj (j_timing semi_ms));
+          ("speedup", J_num (ms naive_ms /. ms semi_ms)) ];
       row "%8d  %9d  %8d  %11d  %11d  %11.2f  %11.2f  %8.2fx\n" n
         stats.Gql_wglog.Eval.edges_added stats.Gql_wglog.Eval.rounds
         naive_stats.Gql_wglog.Eval.embeddings_found
-        stats.Gql_wglog.Eval.embeddings_found naive_ms semi_ms
-        (naive_ms /. semi_ms))
+        stats.Gql_wglog.Eval.embeddings_found (ms naive_ms) (ms semi_ms)
+        (ms naive_ms /. ms semi_ms))
     [ 16; 32; 64; 128 ]
 
 (* ------------------------------------------------------------------ *)
@@ -287,8 +399,12 @@ let e9 () =
           timed (fun () ->
               List.length (Gql_algebra.Exec.run_xmlgl ~strategy:`Fixed db.Gql_core.Gql.graph q))
         in
-        row "%-6s  %8d  %8d  %12.2f  %12.2f  %9.2fx\n" e.name 400 hits g_ms f_ms
-          (f_ms /. g_ms)
+        record ~experiment:"e9"
+          [ ("query", J_str e.name); ("size", J_int 400); ("hits", J_int hits);
+            ("greedy", J_obj (j_timing g_ms)); ("fixed", J_obj (j_timing f_ms));
+            ("ratio", J_num (ms f_ms /. ms g_ms)) ];
+        row "%-6s  %8d  %8d  %12.2f  %12.2f  %9.2fx\n" e.name 400 hits (ms g_ms)
+          (ms f_ms) (ms f_ms /. ms g_ms)
       | _ -> ())
     Gql_workload.Queries.suite
 
@@ -326,8 +442,73 @@ let e10 () =
       let grid_ms, () = timed (fun () -> Gql_visual.Layout.grid d2) in
       let gx = Gql_visual.Layout.count_crossings d2 in
       row "%8d  %8d  %12d  %12d  %12.2f  %12.2f\n" n (Gql_visual.Diagram.n_edges d1)
-        lx gx lay_ms grid_ms)
+        lx gx (ms lay_ms) (ms grid_ms))
     [ 10; 20; 40; 80 ]
+
+(* ------------------------------------------------------------------ *)
+(* E11 — frozen index vs whole-graph scan                               *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  header "E11  embedding search: frozen label/value indexes vs graph scans";
+  (* 150 labels x 400 entities, each with a unique key atom: 120k nodes,
+     240k edges.  Scan-based matching pays a whole-graph pass per global
+     candidate list; the index answers from one bucket. *)
+  let build_tm, data =
+    timed ~repeat:1 (fun () ->
+        Gql_workload.Gen.labelled_graph ~labels:150 ~per_label:400 ~degree:3 ())
+  in
+  let n_nodes = Gql_data.Graph.n_nodes data in
+  let n_edges = Gql_data.Graph.n_edges data in
+  let index_tm, idx = timed (fun () -> Gql_data.Index.build data) in
+  row "graph: %d nodes, %d edges (built in %.0f ms); index built in %.2f ms\n"
+    n_nodes n_edges (ms build_tm) (ms index_tm);
+  record ~experiment:"e11"
+    [ ("graph_nodes", J_int n_nodes); ("graph_edges", J_int n_edges);
+      ("index_build", J_obj (j_timing index_tm)) ];
+  let point_query () =
+    (* r:L40 --key--> "k-16123": label bucket + value bucket *)
+    let open Gql_wglog.Ast.Build in
+    let b = create () in
+    let r = entity b "L40" in
+    let v = const b (Gql_data.Value.string "k-16123") in
+    edge b ~label:"key" r v;
+    finish b
+  in
+  let join_query () =
+    (* a:L7 --rel--> b:L8: a labelled join between two layers *)
+    let open Gql_wglog.Ast.Build in
+    let b = create () in
+    let a = entity b "L7" in
+    let c = entity b "L8" in
+    edge b ~label:"rel" a c;
+    finish b
+  in
+  row "%-12s  %8s  %12s  %12s  %9s\n" "query" "hits" "scan_ms" "indexed_ms" "speedup";
+  List.iter
+    (fun (name, rule) ->
+      let cq = Gql_wglog.Eval.compile_query rule in
+      let scan_tm, scan_hits =
+        timed (fun () ->
+            List.length (Gql_wglog.Eval.query_embeddings data rule cq))
+      in
+      let idx_tm, idx_hits =
+        timed (fun () ->
+            List.length (Gql_wglog.Eval.query_embeddings ~index:idx data rule cq))
+      in
+      if scan_hits <> idx_hits then
+        failwith
+          (Printf.sprintf "E11 %s: indexed (%d) and scan (%d) disagree" name
+             idx_hits scan_hits);
+      let speedup = ms scan_tm /. ms idx_tm in
+      record ~experiment:"e11"
+        [ ("query", J_str name); ("hits", J_int scan_hits);
+          ("bindings_equal", J_bool true);
+          ("scan", J_obj (j_timing scan_tm));
+          ("indexed", J_obj (j_timing idx_tm)); ("speedup", J_num speedup) ];
+      row "%-12s  %8d  %12.2f  %12.2f  %8.1fx\n" name scan_hits (ms scan_tm)
+        (ms idx_tm) speedup)
+    [ ("point", point_query ()); ("label-join", join_query ()) ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
@@ -381,11 +562,13 @@ let micro () =
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
-    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10) ]
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  (match args with
   | [] -> List.iter (fun (_, f) -> f ()) all
   | [ "micro" ] -> micro ()
   | names ->
@@ -393,5 +576,6 @@ let () =
       (fun name ->
         match List.assoc_opt (String.lowercase_ascii name) all with
         | Some f -> f ()
-        | None -> Printf.eprintf "unknown experiment %s (e1..e10, micro)\n" name)
-      names
+        | None -> Printf.eprintf "unknown experiment %s (e1..e11, micro)\n" name)
+      names);
+  if json then write_json "BENCH_PR1.json"

@@ -37,23 +37,42 @@ let expand_candidates (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_con
       (List.init (Graph.n_nodes data) Fun.id)
   | Gql_graph.Homo.Negated _, _ -> invalid_arg "cannot expand a negated edge"
 
-let run (data : Graph.t)
+let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option)
+    (data : Graph.t)
     (pattern : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern)
     (plan : Plan.t) : binding list =
   let k = Array.length pattern.Gql_graph.Homo.p_nodes in
   let node_pred v n = pattern.Gql_graph.Homo.p_nodes.(v) n (Graph.kind data n) in
   let rec eval (p : Plan.t) : binding list =
     match p with
-    | Plan.Scan { var; _ } ->
-      let out = ref [] in
-      for n = Graph.n_nodes data - 1 downto 0 do
-        if node_pred var n then begin
-          let b = Array.make k (-1) in
-          b.(var) <- n;
-          out := b :: !out
-        end
-      done;
-      !out
+    | Plan.Scan { var; _ } -> (
+      let indexed =
+        match provider with
+        | Some prov -> prov.Gql_graph.Homo.prov_candidates var
+        | None -> None
+      in
+      match indexed with
+      | Some cands ->
+        (* index candidates are sorted ascending, like the scan below *)
+        List.filter_map
+          (fun n ->
+            if node_pred var n then begin
+              let b = Array.make k (-1) in
+              b.(var) <- n;
+              Some b
+            end
+            else None)
+          cands
+      | None ->
+        let out = ref [] in
+        for n = Graph.n_nodes data - 1 downto 0 do
+          if node_pred var n then begin
+            let b = Array.make k (-1) in
+            b.(var) <- n;
+            out := b :: !out
+          end
+        done;
+        !out)
     | Plan.Expand { input; src; dst; dir; cons; _ } ->
       List.concat_map
         (fun b ->
@@ -92,17 +111,19 @@ let run (data : Graph.t)
 (** End-to-end: compile an XML-GL query, plan it, execute, and return
     bindings restricted to the query's own nodes (the same shape
     [Gql_xmlgl.Matching.run] returns, so results are comparable). *)
-let run_xmlgl ?strategy (data : Graph.t) (q : Gql_xmlgl.Ast.query) :
+let run_xmlgl ?strategy ?index (data : Graph.t) (q : Gql_xmlgl.Ast.query) :
     int array list =
   let compiled = Gql_xmlgl.Matching.compile data q in
-  let job = Planner.job_of_xmlgl compiled in
+  let job = Planner.job_of_xmlgl ?index compiled in
   let plan = Planner.build ?strategy data job in
   List.map
     (Gql_xmlgl.Matching.to_query_binding compiled)
-    (run data compiled.Gql_xmlgl.Matching.pattern plan)
+    (run ?provider:job.Planner.provider data compiled.Gql_xmlgl.Matching.pattern
+       plan)
 
 (** The plan text for an XML-GL query — EXPLAIN. *)
-let explain_xmlgl ?strategy (data : Graph.t) (q : Gql_xmlgl.Ast.query) : string =
+let explain_xmlgl ?strategy ?index (data : Graph.t) (q : Gql_xmlgl.Ast.query) :
+    string =
   let compiled = Gql_xmlgl.Matching.compile data q in
-  let job = Planner.job_of_xmlgl compiled in
+  let job = Planner.job_of_xmlgl ?index compiled in
   Plan.to_string (Planner.build ?strategy data job)

@@ -22,6 +22,9 @@ type residual = { r_name : string; r_pred : Graph.t -> int array -> bool }
 type job = {
   pattern : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern;
   residuals : residual list;
+  provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option;
+      (** index-backed candidates; sharpens the planner's estimates and
+          replaces the executor's scans *)
 }
 
 let cons_label (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint) =
@@ -30,17 +33,37 @@ let cons_label (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint
   | Gql_graph.Homo.Path _ -> "path"
   | Gql_graph.Homo.Negated _ -> "negated"
 
-(** Candidate-count estimates: one pass over the data. *)
-let estimates (data : Graph.t) (pat : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern) :
+(** Candidate-count estimates.  With an index-backed provider, a node's
+    count comes from its (much smaller) candidate list; the whole-graph
+    pass only covers nodes the provider cannot answer for. *)
+let estimates ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option)
+    (data : Graph.t) (pat : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern) :
     int array =
   let k = Array.length pat.Gql_graph.Homo.p_nodes in
   let counts = Array.make k 0 in
-  for n = 0 to Graph.n_nodes data - 1 do
-    let kind = Graph.kind data n in
+  let need_scan = Array.make k true in
+  (match provider with
+  | None -> ()
+  | Some prov ->
     for v = 0 to k - 1 do
-      if pat.Gql_graph.Homo.p_nodes.(v) n kind then counts.(v) <- counts.(v) + 1
-    done
-  done;
+      match prov.Gql_graph.Homo.prov_candidates v with
+      | None -> ()
+      | Some cands ->
+        need_scan.(v) <- false;
+        counts.(v) <-
+          List.length
+            (List.filter
+               (fun n -> pat.Gql_graph.Homo.p_nodes.(v) n (Graph.kind data n))
+               cands)
+    done);
+  if Array.exists Fun.id need_scan then
+    for n = 0 to Graph.n_nodes data - 1 do
+      let kind = Graph.kind data n in
+      for v = 0 to k - 1 do
+        if need_scan.(v) && pat.Gql_graph.Homo.p_nodes.(v) n kind then
+          counts.(v) <- counts.(v) + 1
+      done
+    done;
   counts
 
 let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
@@ -49,7 +72,7 @@ let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
   if k = 0 then invalid_arg "empty pattern";
   let est =
     match strategy with
-    | `Greedy -> estimates data pat
+    | `Greedy -> estimates ?provider:job.provider data pat
     | `Fixed -> Array.make k 0
   in
   (* Positive adjacency with constraints. *)
@@ -165,8 +188,10 @@ let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
     plan job.residuals
 
 (** Job construction from a compiled XML-GL query: the pattern plus its
-    post-filters packaged as residuals. *)
-let job_of_xmlgl (c : Gql_xmlgl.Matching.compiled) : job =
+    post-filters packaged as residuals; [index] attaches the frozen
+    index's candidate provider. *)
+let job_of_xmlgl ?(index : Index.t option) (c : Gql_xmlgl.Matching.compiled) :
+    job =
   {
     pattern = c.Gql_xmlgl.Matching.pattern;
     residuals =
@@ -176,4 +201,5 @@ let job_of_xmlgl (c : Gql_xmlgl.Matching.compiled) : job =
           r_pred = (fun data emb -> Gql_xmlgl.Matching.embedding_ok c data emb);
         };
       ];
+    provider = Option.map (fun idx -> Gql_xmlgl.Matching.provider idx c) index;
   }

@@ -17,6 +17,9 @@ type db = {
   document : Gql_xml.Tree.doc option;
   dtd : Gql_dtd.Ast.t option;
   xpath_index : Gql_xpath.Index.t Lazy.t;
+  gindex : Gql_data.Index.cache;
+      (** frozen graph index shared by every engine; rebuilt on demand
+          when the graph has grown (e.g. after a WG-Log run) *)
 }
 
 exception Error of string
@@ -39,6 +42,7 @@ let of_document ?dtd (document : Gql_xml.Tree.doc) : db =
     document = Some document;
     dtd;
     xpath_index = lazy (Gql_xpath.Index.build document);
+    gindex = Gql_data.Index.cache ();
   }
 
 let load_xml_string ?dtd (src : string) : db =
@@ -62,6 +66,7 @@ let of_graph (graph : Gql_data.Graph.t) : db =
     dtd = None;
     xpath_index =
       lazy (fail "this database has no document form; XPath unavailable");
+    gindex = Gql_data.Index.cache ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -73,8 +78,12 @@ let parse_xmlgl (src : string) : Gql_xmlgl.Ast.program =
   | Ok p -> p
   | Error msg -> fail "XML-GL parse error: %s" msg
 
+(** The current frozen index for [db.graph] (cached across calls). *)
+let index (db : db) : Gql_data.Index.t =
+  Gql_data.Index.refresh db.gindex db.graph
+
 let run_xmlgl (db : db) (p : Gql_xmlgl.Ast.program) : Gql_xml.Tree.element =
-  Gql_xmlgl.Engine.run_program db.graph p
+  Gql_xmlgl.Engine.run_program ~index:(index db) db.graph p
 
 let run_xmlgl_text (db : db) (src : string) : Gql_xml.Tree.element =
   run_xmlgl db (parse_xmlgl src)
@@ -83,13 +92,17 @@ let run_xmlgl_text (db : db) (src : string) : Gql_xml.Tree.element =
 let xmlgl_bindings (db : db) (p : Gql_xmlgl.Ast.program) =
   match p.Gql_xmlgl.Ast.rules with
   | [] -> []
-  | r :: _ -> Gql_xmlgl.Engine.query_bindings db.graph r.Gql_xmlgl.Ast.query
+  | r :: _ ->
+    Gql_xmlgl.Engine.query_bindings ~index:(index db) db.graph
+      r.Gql_xmlgl.Ast.query
 
 (** EXPLAIN for the first rule, via the algebra planner. *)
 let explain_xmlgl ?strategy (db : db) (p : Gql_xmlgl.Ast.program) : string =
   match p.Gql_xmlgl.Ast.rules with
   | [] -> "(no rules)"
-  | r :: _ -> Gql_algebra.Exec.explain_xmlgl ?strategy db.graph r.Gql_xmlgl.Ast.query
+  | r :: _ ->
+    Gql_algebra.Exec.explain_xmlgl ?strategy ~index:(index db) db.graph
+      r.Gql_xmlgl.Ast.query
 
 (* ------------------------------------------------------------------ *)
 (* WG-Log                                                              *)
@@ -110,7 +123,8 @@ let run_wglog_text ?schema ?strategy (db : db) (src : string) :
     Gql_wglog.Eval.stats =
   run_wglog ?strategy db (parse_wglog ?schema src)
 
-let wglog_goal (db : db) (r : Gql_wglog.Ast.rule) = Gql_wglog.Eval.goal db.graph r
+let wglog_goal (db : db) (r : Gql_wglog.Ast.rule) =
+  Gql_wglog.Eval.goal ~index:(index db) db.graph r
 
 (* ------------------------------------------------------------------ *)
 (* XPath baseline                                                      *)

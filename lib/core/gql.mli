@@ -18,6 +18,9 @@ type db = {
   xpath_index : Gql_xpath.Index.t Lazy.t;
       (** flattened index for the navigational baseline; forcing it on a
           pure graph database raises {!Error} *)
+  gindex : Gql_data.Index.cache;
+      (** frozen graph index shared by every engine; rebuilt on demand
+          when the graph has grown (e.g. after a WG-Log run) *)
 }
 
 exception Error of string
@@ -38,6 +41,10 @@ val load_xml_file : ?dtd:Gql_dtd.Ast.t -> string -> db
 val of_graph : Gql_data.Graph.t -> db
 (** Wrap an entity database that never was XML (e.g. the WG-Log
     restaurant base).  XPath is unavailable on such databases. *)
+
+val index : db -> Gql_data.Index.t
+(** The frozen {!Gql_data.Index} over [db.graph], built on first use and
+    cached until the graph grows. *)
 
 (** {1 XML-GL} *)
 

@@ -1,0 +1,275 @@
+(** Frozen indexes over a data graph.
+
+    One [build] pass snapshots the graph into a {!Gql_graph.Csr} view
+    and derives the access paths every engine's matcher wants instead of
+    whole-graph scans:
+
+    - [by_label]: label -> complex nodes (sorted), the entry point for
+      typed pattern nodes;
+    - [by_value]: normalised atom value -> atom nodes, for constant
+      rectangles and value point-lookups (normalisation follows
+      [Value.compare_values]: numeric when the value coerces, textual
+      otherwise, so ["12"], [12] and [12.0] share a bucket);
+    - per-node adjacency partitioned by edge name ([out_named] /
+      [in_named]), by [Attribute] kind and name ([attr_named]), by
+      [Child] kind ([children] / [parents]) and by [Ref]/[Rel] kind
+      ([ref_succ] / [ref_pred]), so a labelled edge constraint
+      enumerates only matching neighbours;
+    - [edges_named]: name -> all (src, dst) pairs, for the WG-Log
+      evaluator's globally negated edges.
+
+    All candidate arrays are sorted ascending, which makes the indexed
+    matcher enumerate embeddings in exactly the order of the scan-based
+    one.  The index is a snapshot: [refresh] on a {!cache} rebuilds it
+    only when the graph has grown (the data graph is append-only; node
+    payloads are never mutated after construction). *)
+
+type vkey =
+  | Num of float
+  | Str of string
+
+(** The bucket key of a value, consistent with [Value.equal_values]. *)
+let vkey (v : Value.t) : vkey =
+  match Value.as_number v with
+  | Some f -> Num f
+  | None -> Str (Value.to_string v)
+
+type t = {
+  data : Graph.t;
+  csr : (Graph.node_kind, Graph.edge) Gql_graph.Csr.t;
+  version : int * int;  (** (n_nodes, n_edges) at build time *)
+  by_label : (string, int array) Hashtbl.t;
+  by_value : (vkey, int array) Hashtbl.t;
+  all_complex : int array;
+  all_atoms : int array;
+  out_by_name : (int * string, int array) Hashtbl.t;
+  in_by_name : (int * string, int array) Hashtbl.t;
+  attr_out : (int * string, int array) Hashtbl.t;
+  child_out : int array array;
+  child_in : int array array;
+  ref_out : int array array;
+  ref_in : int array array;
+  edges_by_name : (string, (int * int) array) Hashtbl.t;
+}
+
+let empty_arr : int array = [||]
+
+let build (data : Graph.t) : t =
+  let csr = Gql_graph.Csr.freeze data.Graph.g in
+  let n = Gql_graph.Csr.n_nodes csr in
+  let by_label_l : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let by_value_l : (vkey, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let complex_l = ref [] and atoms_l = ref [] in
+  let bucket tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some r -> r := v :: !r
+    | None -> Hashtbl.replace tbl key (ref [ v ])
+  in
+  for i = n - 1 downto 0 do
+    match Gql_graph.Csr.payload csr i with
+    | Graph.Complex l ->
+      bucket by_label_l l i;
+      complex_l := i :: !complex_l
+    | Graph.Atom v ->
+      bucket by_value_l (vkey v) i;
+      atoms_l := i :: !atoms_l
+  done;
+  let out_name_l : (int * string, int list ref) Hashtbl.t = Hashtbl.create (4 * n) in
+  let in_name_l : (int * string, int list ref) Hashtbl.t = Hashtbl.create (4 * n) in
+  let attr_l : (int * string, int list ref) Hashtbl.t = Hashtbl.create n in
+  let edges_name_l : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let child_out_l = Array.make n [] and child_in_l = Array.make n [] in
+  let ref_out_l = Array.make n [] and ref_in_l = Array.make n [] in
+  Gql_graph.Csr.iter_edges
+    (fun ~src ~dst (e : Graph.edge) ->
+      bucket out_name_l (src, e.Graph.name) dst;
+      bucket in_name_l (dst, e.Graph.name) src;
+      bucket edges_name_l e.Graph.name (src, dst);
+      match e.Graph.kind with
+      | Graph.Child ->
+        child_out_l.(src) <- dst :: child_out_l.(src);
+        child_in_l.(dst) <- src :: child_in_l.(dst)
+      | Graph.Attribute -> bucket attr_l (src, e.Graph.name) dst
+      | Graph.Ref | Graph.Rel ->
+        ref_out_l.(src) <- dst :: ref_out_l.(src);
+        ref_in_l.(dst) <- src :: ref_in_l.(dst))
+    csr;
+  let int_cmp (a : int) (b : int) = compare a b in
+  let finish_int tbl src =
+    Hashtbl.iter
+      (fun key r ->
+        let a = Array.of_list !r in
+        if Array.length a > 1 then Array.sort int_cmp a;
+        Hashtbl.replace tbl key a)
+      src;
+    tbl
+  in
+  let sorted_arr l =
+    let a = Array.of_list l in
+    if Array.length a > 1 then Array.sort int_cmp a;
+    a
+  in
+  {
+    data;
+    csr;
+    version = (Graph.n_nodes data, Graph.n_edges data);
+    by_label = finish_int (Hashtbl.create (Hashtbl.length by_label_l)) by_label_l;
+    by_value = finish_int (Hashtbl.create (Hashtbl.length by_value_l)) by_value_l;
+    all_complex = Array.of_list !complex_l;
+    all_atoms = Array.of_list !atoms_l;
+    out_by_name = finish_int (Hashtbl.create (Hashtbl.length out_name_l)) out_name_l;
+    in_by_name = finish_int (Hashtbl.create (Hashtbl.length in_name_l)) in_name_l;
+    attr_out = finish_int (Hashtbl.create (Hashtbl.length attr_l)) attr_l;
+    child_out = Array.map sorted_arr child_out_l;
+    child_in = Array.map sorted_arr child_in_l;
+    ref_out = Array.map sorted_arr ref_out_l;
+    ref_in = Array.map sorted_arr ref_in_l;
+    edges_by_name =
+      (let out = Hashtbl.create (Hashtbl.length edges_name_l) in
+       Hashtbl.iter
+         (fun key r ->
+           let a = Array.of_list !r in
+           Array.sort compare a;
+           Hashtbl.replace out key a)
+         edges_name_l;
+       out);
+  }
+
+(* --- lookups --------------------------------------------------------- *)
+
+let csr t = t.csr
+let graph t = t.data
+let n_nodes t = fst t.version
+let n_edges t = snd t.version
+
+let find_arr tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:empty_arr
+
+(** Complex nodes carrying label [l], sorted. *)
+let complex_with_label t l = find_arr t.by_label l
+
+(** Complex nodes whose label satisfies [p] — one test per *distinct*
+    label, not per node (this is how regex name tests scale). *)
+let complex_matching t p : int list =
+  Hashtbl.fold
+    (fun l nodes acc -> if p l then List.rev_append (Array.to_list nodes) acc else acc)
+    t.by_label []
+  |> List.sort compare
+
+(** Atom nodes equal (in the [Value.equal_values] sense) to [v]. *)
+let atoms_equal t v = find_arr t.by_value (vkey v)
+
+let all_complex t = t.all_complex
+let all_atoms t = t.all_atoms
+let labels t = Hashtbl.fold (fun l _ acc -> l :: acc) t.by_label [] |> List.sort compare
+
+let out_named t n name = find_arr t.out_by_name (n, name)
+let in_named t n name = find_arr t.in_by_name (n, name)
+let attr_named t n name = find_arr t.attr_out (n, name)
+let children t n = t.child_out.(n)
+let parents t n = t.child_in.(n)
+let ref_succ t n = t.ref_out.(n)
+let ref_pred t n = t.ref_in.(n)
+let edges_named t name : (int * int) array =
+  Option.value (Hashtbl.find_opt t.edges_by_name name) ~default:[||]
+
+(** O(1) total degree, for the matcher's fail-first scorer. *)
+let degree t n = Gql_graph.Csr.degree t.csr n
+
+let mem_arr (a : int array) x =
+  (* adjacency slices are small; linear scan beats binary search setup *)
+  let rec go i = i < Array.length a && (a.(i) = x || go (i + 1)) in
+  go 0
+
+(* --- Homo navigation builders ---------------------------------------- *)
+
+let list_of a = Array.to_list a
+
+(** Edges named [name], any kind — exactly WG-Log's label semantics, so
+    [nav_links] is exact. *)
+let nav_name t name : Gql_graph.Homo.nav =
+  {
+    nav_out = Some (fun n -> list_of (out_named t n name));
+    nav_in = Some (fun n -> list_of (in_named t n name));
+    nav_links = Some (fun src dst -> mem_arr (out_named t src name) dst);
+  }
+
+(** [Child]-kind edges, any name.  Exact for unpositioned containment. *)
+let nav_child t : Gql_graph.Homo.nav =
+  {
+    nav_out = Some (fun n -> list_of (children t n));
+    nav_in = Some (fun n -> list_of (parents t n));
+    nav_links = Some (fun src dst -> mem_arr (children t src) dst);
+  }
+
+(** [Child]-kind edges used only for candidate enumeration (a superset):
+    positioned containment re-checks the ordinal via the constraint. *)
+let nav_child_superset t : Gql_graph.Homo.nav =
+  {
+    nav_out = Some (fun n -> list_of (children t n));
+    nav_in = Some (fun n -> list_of (parents t n));
+    nav_links = None;
+  }
+
+(** [Attribute]-kind edges named [name].  Exact on the forward direction
+    and the link test; reverse lookups fall back to the scan. *)
+let nav_attr t name : Gql_graph.Homo.nav =
+  {
+    nav_out = Some (fun n -> list_of (attr_named t n name));
+    nav_in = None;
+    nav_links = Some (fun src dst -> mem_arr (attr_named t src name) dst);
+  }
+
+(** [Ref]/[Rel]-kind edges, any name — exact. *)
+let nav_ref t : Gql_graph.Homo.nav =
+  {
+    nav_out = Some (fun n -> list_of (ref_succ t n));
+    nav_in = Some (fun n -> list_of (ref_pred t n));
+    nav_links = Some (fun src dst -> mem_arr (ref_succ t src) dst);
+  }
+
+(** [Ref]/[Rel] edges named [name]: name-partitioned supersets for
+    enumeration (the name table ignores kind), exact checks deferred. *)
+let nav_ref_named t name : Gql_graph.Homo.nav =
+  {
+    nav_out = Some (fun n -> list_of (out_named t n name));
+    nav_in = Some (fun n -> list_of (in_named t n name));
+    nav_links = None;
+  }
+
+(** Regular-path navigation over the frozen view. *)
+let nav_path t (rp : Graph.edge Gql_graph.Regpath.t) : Gql_graph.Homo.nav =
+  {
+    nav_out = Some (fun n -> Gql_graph.Regpath.reachable_frozen rp t.csr n);
+    nav_in = None;
+    nav_links = Some (fun src dst -> Gql_graph.Regpath.connects_frozen rp t.csr ~src ~dst);
+  }
+
+(** Assemble a provider from per-pattern-node candidates and per-edge
+    navigation (both indexed by pattern position / [p_edges] order). *)
+let provider ?(navs : Gql_graph.Homo.nav option array = [||]) t
+    ~(candidates : int -> int list option) :
+    (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider =
+  {
+    Gql_graph.Homo.prov_candidates = candidates;
+    prov_degree = Some (degree t);
+    prov_nav = (fun i -> if i < Array.length navs then navs.(i) else None);
+  }
+
+(* --- cache ------------------------------------------------------------ *)
+
+type cache = { mutable cached : t option }
+
+let cache () = { cached = None }
+
+(** The index for [data], rebuilt only if the graph has grown since the
+    cached build (append-only graphs make size a sound version stamp). *)
+let refresh (c : cache) (data : Graph.t) : t =
+  match c.cached with
+  | Some idx
+    when idx.data == data
+         && idx.version = (Graph.n_nodes data, Graph.n_edges data) ->
+    idx
+  | Some _ | None ->
+    let idx = build data in
+    c.cached <- Some idx;
+    idx

@@ -1,0 +1,127 @@
+(** Frozen, index-friendly view of a {!Digraph}.
+
+    [Digraph] is mutable and adjacency lives in cons lists — right for
+    construction, wrong for the matcher's hot loops, where degrees are
+    recomputed with [List.length] and neighbour walks chase pointers.
+    Freezing packs the same graph into classic CSR (compressed sparse
+    row) form: one offset array per direction plus flat neighbour/label
+    arrays, so degrees are O(1) subtractions and adjacency scans are
+    cache-friendly array slices.
+
+    The frozen view is a snapshot: it does not observe later mutation of
+    the source graph.  Neighbour order within a node is preserved from
+    [Digraph.succ]/[Digraph.pred] (most recently added first), so code
+    that iterates either representation sees the same sequence. *)
+
+type ('n, 'e) t = {
+  payloads : 'n array;
+  out_off : int array;  (** length [n+1]; node [i] owns slice [out_off.(i) .. out_off.(i+1) - 1] *)
+  out_dst : int array;
+  out_lab : 'e array;
+  in_off : int array;
+  in_src : int array;
+  in_lab : 'e array;
+}
+
+type node = Digraph.node
+
+let n_nodes t = Array.length t.payloads
+let n_edges t = Array.length t.out_dst
+let payload t n = t.payloads.(n)
+
+(* O(1) degrees — the point of the exercise. *)
+let out_degree t n = t.out_off.(n + 1) - t.out_off.(n)
+let in_degree t n = t.in_off.(n + 1) - t.in_off.(n)
+let degree t n = out_degree t n + in_degree t n
+
+let iter_succ f t n =
+  for i = t.out_off.(n) to t.out_off.(n + 1) - 1 do
+    f t.out_dst.(i) t.out_lab.(i)
+  done
+
+let iter_pred f t n =
+  for i = t.in_off.(n) to t.in_off.(n + 1) - 1 do
+    f t.in_src.(i) t.in_lab.(i)
+  done
+
+let fold_succ f acc t n =
+  let acc = ref acc in
+  iter_succ (fun d l -> acc := f !acc d l) t n;
+  !acc
+
+let fold_pred f acc t n =
+  let acc = ref acc in
+  iter_pred (fun s l -> acc := f !acc s l) t n;
+  !acc
+
+(** Allocating compatibility shims, same shape as [Digraph.succ]/[pred]. *)
+let succ t n = List.rev (fold_succ (fun acc d l -> (d, l) :: acc) [] t n)
+
+let pred t n = List.rev (fold_pred (fun acc s l -> (s, l) :: acc) [] t n)
+
+let exists_succ p t n =
+  let rec go i stop = i < stop && (p t.out_dst.(i) t.out_lab.(i) || go (i + 1) stop) in
+  go t.out_off.(n) t.out_off.(n + 1)
+
+let has_edge ?pred t src dst =
+  exists_succ
+    (fun d l -> d = dst && match pred with None -> true | Some p -> p l)
+    t src
+
+let iter_edges f t =
+  for src = 0 to n_nodes t - 1 do
+    for i = t.out_off.(src) to t.out_off.(src + 1) - 1 do
+      f ~src ~dst:t.out_dst.(i) t.out_lab.(i)
+    done
+  done
+
+(** Snapshot a mutable graph.  O(V + E); the result shares nothing with
+    the source. *)
+let freeze (g : ('n, 'e) Digraph.t) : ('n, 'e) t =
+  let n = Digraph.n_nodes g in
+  let m = Digraph.n_edges g in
+  let payloads = Array.init n (Digraph.payload g) in
+  let out_off = Array.make (n + 1) 0 in
+  let in_off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    out_off.(i + 1) <- out_off.(i) + List.length (Digraph.succ g i);
+    in_off.(i + 1) <- in_off.(i) + List.length (Digraph.pred g i)
+  done;
+  (* ['e] has no dummy; steal one from any edge (m = 0 needs none). *)
+  if m = 0 then
+    {
+      payloads;
+      out_off;
+      out_dst = [||];
+      out_lab = [||];
+      in_off;
+      in_src = [||];
+      in_lab = [||];
+    }
+  else begin
+    let some_label =
+      let rec find i =
+        match Digraph.succ g i with
+        | (_, l) :: _ -> l
+        | [] -> find (i + 1)
+      in
+      find 0
+    in
+    let out_dst = Array.make m (-1) in
+    let out_lab = Array.make m some_label in
+    let in_src = Array.make m (-1) in
+    let in_lab = Array.make m some_label in
+    for i = 0 to n - 1 do
+      List.iteri
+        (fun k (d, l) ->
+          out_dst.(out_off.(i) + k) <- d;
+          out_lab.(out_off.(i) + k) <- l)
+        (Digraph.succ g i);
+      List.iteri
+        (fun k (s, l) ->
+          in_src.(in_off.(i) + k) <- s;
+          in_lab.(in_off.(i) + k) <- l)
+        (Digraph.pred g i)
+    done;
+    { payloads; out_off; out_dst; out_lab; in_off; in_src; in_lab }
+  end

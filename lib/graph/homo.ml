@@ -40,31 +40,86 @@ type ('n, 'e) pattern = {
 type embedding = int array
 (** [emb.(p)] = data node bound to pattern node [p]. *)
 
+(** Per-pattern-edge index navigation.  [nav_out n] enumerates candidate
+    endpoints reached from [n] along the edge (and [nav_in] the reverse
+    direction); both may return a *superset* of the truly matching
+    neighbours — the search re-checks node predicates and edge
+    constraints on every binding, so supersets only cost time, never
+    correctness.  [nav_links src dst], when present, must be *exact*: it
+    replaces the adjacency scan that decides whether the constraint
+    holds between two bound nodes. *)
+type nav = {
+  nav_out : (Digraph.node -> Digraph.node list) option;
+  nav_in : (Digraph.node -> Digraph.node list) option;
+  nav_links : (Digraph.node -> Digraph.node -> bool) option;
+}
+
+(** A pluggable candidate provider: how an index-backed caller replaces
+    the matcher's linear scans.
+
+    - [prov_candidates p] returns the global candidates for pattern node
+      [p] (a sorted superset is fine — the node predicate is re-applied);
+      [None] falls back to the whole-graph scan.
+    - [prov_degree], when present, must be O(1) (a frozen {!Csr} view);
+      it feeds the fail-first scorer.
+    - [prov_nav i] attaches navigation to the [i]-th element of
+      [p_edges] (list order). *)
+type ('n, 'e) provider = {
+  prov_candidates : int -> Digraph.node list option;
+  prov_degree : (Digraph.node -> int) option;
+  prov_nav : int -> nav option;
+}
+
+let no_provider : ('n, 'e) provider =
+  {
+    prov_candidates = (fun _ -> None);
+    prov_degree = None;
+    prov_nav = (fun _ -> None);
+  }
+
 (** Enumerate embeddings, calling [emit] on each.  [emit] may raise to
     stop early (see {!exists}).  [pre_bound] fixes pattern nodes to data
     nodes before the search starts (duplicates must agree); the fixed
-    nodes are checked against their predicates and edge constraints. *)
-let iter_embeddings ?(pre_bound = []) (pat : ('n, 'e) pattern)
+    nodes are checked against their predicates and edge constraints.
+    [provider] supplies index-backed candidates; with the default, every
+    global candidate list is a graph scan.  Indexed and scan-based
+    searches enumerate the same embeddings in the same order (provider
+    candidate lists are sorted, as scans are). *)
+let iter_embeddings ?(pre_bound = []) ?(provider = no_provider)
+    (pat : ('n, 'e) pattern)
     (g : ('n, 'e) Digraph.t) ~(emit : embedding -> unit) : unit =
   let k = Array.length pat.p_nodes in
   if k = 0 then emit [||]
   else begin
     let binding = Array.make k (-1) in
     let bound = Array.make k false in
-    (* Lazy global candidate lists. *)
+    let p_edges = Array.of_list pat.p_edges in
+    let navs = Array.init (Array.length p_edges) provider.prov_nav in
+    (* Lazy global candidate lists: from the provider's index when it has
+       one (filtered through the node predicate, so supersets are safe),
+       from a whole-graph scan otherwise. *)
     let cand_cache : int list option array = Array.make k None in
     let global_candidates p =
       match cand_cache.(p) with
       | Some c -> c
       | None ->
         let c =
-          List.rev
-            (Digraph.fold_nodes
-               (fun acc i payload -> if pat.p_nodes.(p) i payload then i :: acc else acc)
-               [] g)
+          match provider.prov_candidates p with
+          | Some l -> List.filter (fun i -> pat.p_nodes.(p) i (Digraph.payload g i)) l
+          | None ->
+            List.rev
+              (Digraph.fold_nodes
+                 (fun acc i payload -> if pat.p_nodes.(p) i payload then i :: acc else acc)
+                 [] g)
         in
         cand_cache.(p) <- Some c;
         c
+    in
+    (* O(1) from a frozen view when provided, O(degree) otherwise. *)
+    let total_degree n =
+      match provider.prov_degree with
+      | Some deg -> deg n
+      | None -> Digraph.out_degree g n + Digraph.in_degree g n
     in
     (* Positive adjacency between pattern nodes, for connectivity-guided
        ordering; negated edges do not guide the order (they only filter). *)
@@ -78,20 +133,35 @@ let iter_embeddings ?(pre_bound = []) (pat : ('n, 'e) pattern)
         | Negated _ -> ())
       pat.p_edges;
     (* Check every constraint whose endpoints are both bound and that
-       involves pattern node [just_bound]. *)
+       involves pattern node [just_bound].  [nav_links] is the exact
+       index-backed replacement for the adjacency scan. *)
+    let direct_ok i p na nb =
+      match navs.(i) with
+      | Some { nav_links = Some links; _ } -> links na nb
+      | Some _ | None ->
+        List.exists (fun (d, l) -> d = nb && p l) (Digraph.succ g na)
+    in
+    let edge_holds i (c : ('n, 'e) edge_constraint) na nb =
+      match c with
+      | Direct p -> direct_ok i p na nb
+      | Path rp -> (
+        match navs.(i) with
+        | Some { nav_links = Some links; _ } -> links na nb
+        | Some _ | None -> Regpath.connects rp g ~src:na ~dst:nb)
+      | Negated p -> not (direct_ok i p na nb)
+    in
     let edges_ok just_bound =
-      List.for_all
-        (fun (a, c, b) ->
-          if (a <> just_bound && b <> just_bound) || not (bound.(a) && bound.(b))
-          then true
-          else
-            let na = binding.(a) and nb = binding.(b) in
-            match c with
-            | Direct p -> List.exists (fun (d, l) -> d = nb && p l) (Digraph.succ g na)
-            | Path rp -> Regpath.connects rp g ~src:na ~dst:nb
-            | Negated p ->
-              not (List.exists (fun (d, l) -> d = nb && p l) (Digraph.succ g na)))
-        pat.p_edges
+      let ok = ref true in
+      Array.iteri
+        (fun i (a, c, b) ->
+          if
+            !ok
+            && (a = just_bound || b = just_bound)
+            && bound.(a) && bound.(b)
+            && not (edge_holds i c binding.(a) binding.(b))
+          then ok := false)
+        p_edges;
+      !ok
     in
     (* Fail-first ordering with cheap scores: a node adjacent to the
        bound region is scored by that neighbour's degree (its candidates
@@ -105,12 +175,7 @@ let iter_embeddings ?(pre_bound = []) (pat : ('n, 'e) pattern)
           let neighbour_degree =
             List.fold_left
               (fun acc q ->
-                if bound.(q) then
-                  let deg =
-                    Digraph.out_degree g binding.(q) + Digraph.in_degree g binding.(q)
-                  in
-                  min acc deg
-                else acc)
+                if bound.(q) then min acc (total_degree binding.(q)) else acc)
               max_int adj.(p)
           in
           let score =
@@ -130,28 +195,44 @@ let iter_embeddings ?(pre_bound = []) (pat : ('n, 'e) pattern)
        global list otherwise.  The node predicate is re-checked on
        propagated candidates. *)
     let candidates_for p =
+      let nav_field i get =
+        match navs.(i) with Some nav -> get nav | None -> None
+      in
       let via_edge =
-        List.find_map
-          (fun (a, c, b) ->
-            match c with
-            | Negated _ -> None
-            | Direct f ->
-              if a <> p && b = p && bound.(a) then
-                Some
-                  (List.filter_map
-                     (fun (d, l) -> if f l then Some d else None)
-                     (Digraph.succ g binding.(a)))
-              else if a = p && b <> p && bound.(b) then
-                Some
-                  (List.filter_map
-                     (fun (s, l) -> if f l then Some s else None)
-                     (Digraph.pred g binding.(b)))
-              else None
-            | Path rp ->
-              if a <> p && b = p && bound.(a) then
-                Some (Regpath.reachable rp g binding.(a))
-              else None)
-          pat.p_edges
+        let found = ref None in
+        Array.iteri
+          (fun i (a, c, b) ->
+            if !found = None then
+              match c with
+              | Negated _ -> ()
+              | Direct f ->
+                if a <> p && b = p && bound.(a) then
+                  found :=
+                    Some
+                      (match nav_field i (fun nav -> nav.nav_out) with
+                      | Some out -> out binding.(a)
+                      | None ->
+                        List.filter_map
+                          (fun (d, l) -> if f l then Some d else None)
+                          (Digraph.succ g binding.(a)))
+                else if a = p && b <> p && bound.(b) then
+                  found :=
+                    Some
+                      (match nav_field i (fun nav -> nav.nav_in) with
+                      | Some inn -> inn binding.(b)
+                      | None ->
+                        List.filter_map
+                          (fun (s, l) -> if f l then Some s else None)
+                          (Digraph.pred g binding.(b)))
+              | Path rp ->
+                if a <> p && b = p && bound.(a) then
+                  found :=
+                    Some
+                      (match nav_field i (fun nav -> nav.nav_out) with
+                      | Some out -> out binding.(a)
+                      | None -> Regpath.reachable rp g binding.(a)))
+          p_edges;
+        !found
       in
       match via_edge with
       | Some cands ->
@@ -196,17 +277,17 @@ let iter_embeddings ?(pre_bound = []) (pat : ('n, 'e) pattern)
 
 exception Found
 
-let exists ?pre_bound pat g =
-  match iter_embeddings ?pre_bound pat g ~emit:(fun _ -> raise Found) with
+let exists ?pre_bound ?provider pat g =
+  match iter_embeddings ?pre_bound ?provider pat g ~emit:(fun _ -> raise Found) with
   | () -> false
   | exception Found -> true
 
-let all_embeddings ?pre_bound pat g =
+let all_embeddings ?pre_bound ?provider pat g =
   let acc = ref [] in
-  iter_embeddings ?pre_bound pat g ~emit:(fun e -> acc := e :: !acc);
+  iter_embeddings ?pre_bound ?provider pat g ~emit:(fun e -> acc := e :: !acc);
   List.rev !acc
 
-let count ?pre_bound pat g =
+let count ?pre_bound ?provider pat g =
   let n = ref 0 in
-  iter_embeddings ?pre_bound pat g ~emit:(fun _ -> incr n);
+  iter_embeddings ?pre_bound ?provider pat g ~emit:(fun _ -> incr n);
   !n

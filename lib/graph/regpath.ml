@@ -35,11 +35,10 @@ let key_of_set set =
   Array.iteri (fun i m -> if m then (Buffer.add_string b (string_of_int i); Buffer.add_char b ',')) set;
   Buffer.contents b
 
-(** All nodes reachable from [start] along a path whose labels match the
-    expression.  The empty path counts when the expression is nullable
-    (so [start] itself may be returned). *)
-let reachable (rp : 'e t) (g : ('n, 'e) Digraph.t) (start : Digraph.node) :
-    Digraph.node list =
+(* The product BFS, parametric in how successors are enumerated so the
+   same search runs over a mutable [Digraph] or a frozen [Csr] view. *)
+let reachable_iter (rp : 'e t) ~(iter_succ : Digraph.node -> (Digraph.node -> 'e -> unit) -> unit)
+    (start : Digraph.node) : Digraph.node list =
   let init = Nfa_runner.start_set rp.nfa in
   let seen : (int * string, unit) Hashtbl.t = Hashtbl.create 64 in
   let results = Hashtbl.create 16 in
@@ -57,14 +56,28 @@ let reachable (rp : 'e t) (g : ('n, 'e) Digraph.t) (start : Digraph.node) :
   while not (Queue.is_empty queue) do
     let node, set = Queue.take queue in
     if Nfa_runner.accepting rp.nfa set then Hashtbl.replace results node ();
-    List.iter
-      (fun (next, label) -> enqueue next (Nfa_runner.step rp.nfa set label))
-      (Digraph.succ g node)
+    iter_succ node (fun next label -> enqueue next (Nfa_runner.step rp.nfa set label))
   done;
   Hashtbl.fold (fun n () acc -> n :: acc) results [] |> List.sort compare
 
+(** All nodes reachable from [start] along a path whose labels match the
+    expression.  The empty path counts when the expression is nullable
+    (so [start] itself may be returned). *)
+let reachable (rp : 'e t) (g : ('n, 'e) Digraph.t) (start : Digraph.node) :
+    Digraph.node list =
+  reachable_iter rp start
+    ~iter_succ:(fun node f -> List.iter (fun (next, l) -> f next l) (Digraph.succ g node))
+
+(** Same search over a frozen CSR view — array slices instead of cons
+    lists, used by the indexed matcher. *)
+let reachable_frozen (rp : 'e t) (c : ('n, 'e) Csr.t) (start : Digraph.node) :
+    Digraph.node list =
+  reachable_iter rp start ~iter_succ:(fun node f -> Csr.iter_succ f c node)
+
 (** Does a matching path lead from [src] to [dst]? *)
 let connects rp g ~src ~dst = List.mem dst (reachable rp g src)
+
+let connects_frozen rp c ~src ~dst = List.mem dst (reachable_frozen rp c src)
 
 (** Reference implementation for property tests: enumerate all simple-ish
     paths up to [max_len] hops and check their label words against the

@@ -60,6 +60,11 @@ type neg_check = {
 type compiled_query = {
   pattern : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern;
   query_ids : int array;  (** pattern position -> rule node id *)
+  node_specs : Ast.node array;  (** pattern position -> rule node *)
+  edge_names : string option list;
+      (** aligned with [pattern.p_edges]: the WG-Log label of each
+          Direct/Negated edge ([None] for regular paths) — what the
+          index-backed provider partitions adjacency by *)
   has_regex : bool;
   n_pattern_edges : int;
   neg_checks : neg_check list;
@@ -123,6 +128,7 @@ let compile_query (r : Ast.rule) : compiled_query =
   let has_regex = ref false in
   let neg_checks = ref [] in
   let global_negs = ref [] in
+  let names = ref [] in
   let p_edges =
     List.filter_map
       (fun (e : Ast.edge) ->
@@ -151,10 +157,15 @@ let compile_query (r : Ast.rule) : compiled_query =
             and dst = Hashtbl.find pos_of e.e_dst in
             let c =
               match e.e_mode with
-              | Ast.Plain -> Gql_graph.Homo.Direct (label_matches e.e_label)
-              | Ast.Negated -> Gql_graph.Homo.Negated (label_matches e.e_label)
+              | Ast.Plain ->
+                names := Some e.e_label :: !names;
+                Gql_graph.Homo.Direct (label_matches e.e_label)
+              | Ast.Negated ->
+                names := Some e.e_label :: !names;
+                Gql_graph.Homo.Negated (label_matches e.e_label)
               | Ast.Regex re ->
                 has_regex := true;
+                names := None :: !names;
                 Gql_graph.Homo.Path
                   (Gql_graph.Regpath.compile
                      (fun lbl (de : Graph.edge) ->
@@ -169,47 +180,101 @@ let compile_query (r : Ast.rule) : compiled_query =
   {
     pattern = { Gql_graph.Homo.p_nodes; p_edges };
     query_ids;
+    node_specs = Array.map (fun qid -> r.Ast.nodes.(qid)) query_ids;
+    edge_names = List.rev !names;
     has_regex = !has_regex;
     n_pattern_edges = List.length p_edges;
     neg_checks = List.rev !neg_checks;
     global_negs = List.rev !global_negs;
   }
 
-let global_negs_ok (data : Graph.t) (cq : compiled_query) =
+(** Index-backed candidates and navigation for a compiled query.
+
+    Candidates: typed entity circles hit the label index, constant value
+    rectangles the (normalised) value index; untyped circles and free
+    rectangles still restrict the scan to the right node class.  Every
+    list is a sorted superset — the matcher re-applies the node
+    predicate, so conditions on rectangles stay sound.
+
+    Navigation: a labelled Direct/Negated edge checks only the edge
+    name ([label_matches]), which is exactly what [Index.nav_name]
+    partitions by, so its links test is exact; regular paths run over
+    the frozen CSR view. *)
+let provider (idx : Index.t) (cq : compiled_query) :
+    (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider =
+  let candidates p =
+    let nd = cq.node_specs.(p) in
+    match nd.Ast.n_kind with
+    | Ast.Entity (Some t) ->
+      Some (Array.to_list (Index.complex_with_label idx t))
+    | Ast.Entity None -> Some (Array.to_list (Index.all_complex idx))
+    | Ast.Value (Some c) -> Some (Array.to_list (Index.atoms_equal idx c))
+    | Ast.Value None -> Some (Array.to_list (Index.all_atoms idx))
+  in
+  let navs =
+    Array.of_list
+      (List.map2
+         (fun (_, c, _) name ->
+           match c, name with
+           | (Gql_graph.Homo.Direct _ | Gql_graph.Homo.Negated _), Some nm ->
+             Some (Index.nav_name idx nm)
+           | Gql_graph.Homo.Path rp, _ -> Some (Index.nav_path idx rp)
+           | _, _ -> None)
+         cq.pattern.Gql_graph.Homo.p_edges cq.edge_names)
+  in
+  Index.provider ~navs idx ~candidates
+
+let global_negs_ok ?index (data : Graph.t) (cq : compiled_query) =
   List.for_all
     (fun (label, src_spec, dst_spec) ->
       let sp = node_pred src_spec and dp = node_pred dst_spec in
-      let found = ref false in
-      Gql_graph.Digraph.iter_edges
-        (fun ~src ~dst (e : Graph.edge) ->
-          if
-            (not !found)
-            && label_matches label e
-            && sp src (Graph.kind data src)
-            && dp dst (Graph.kind data dst)
-          then found := true)
-        data.Graph.g;
-      not !found)
+      match index with
+      | Some idx ->
+        (* one bucket probe instead of an all-edges sweep *)
+        not
+          (Array.exists
+             (fun (src, dst) ->
+               sp src (Graph.kind data src) && dp dst (Graph.kind data dst))
+             (Index.edges_named idx label))
+      | None ->
+        let found = ref false in
+        Gql_graph.Digraph.iter_edges
+          (fun ~src ~dst (e : Graph.edge) ->
+            if
+              (not !found)
+              && label_matches label e
+              && sp src (Graph.kind data src)
+              && dp dst (Graph.kind data dst)
+            then found := true)
+          data.Graph.g;
+        not !found)
     cq.global_negs
 
-let neg_checks_ok (data : Graph.t) (cq : compiled_query) (full : int array) =
+let neg_checks_ok ?index (data : Graph.t) (cq : compiled_query)
+    (full : int array) =
   List.for_all
     (fun nc ->
       let anchor = full.(nc.nc_anchor) in
       anchor < 0
       ||
       let neighbours =
-        match nc.nc_dir with
-        | `Out ->
-          List.filter_map
-            (fun (d, (e : Graph.edge)) ->
-              if label_matches nc.nc_label e then Some d else None)
-            (Graph.out data anchor)
-        | `In ->
-          List.filter_map
-            (fun (s, (e : Graph.edge)) ->
-              if label_matches nc.nc_label e then Some s else None)
-            (Graph.inn data anchor)
+        match index with
+        | Some idx -> (
+          match nc.nc_dir with
+          | `Out -> Array.to_list (Index.out_named idx anchor nc.nc_label)
+          | `In -> Array.to_list (Index.in_named idx anchor nc.nc_label))
+        | None -> (
+          match nc.nc_dir with
+          | `Out ->
+            List.filter_map
+              (fun (d, (e : Graph.edge)) ->
+                if label_matches nc.nc_label e then Some d else None)
+              (Graph.out data anchor)
+          | `In ->
+            List.filter_map
+              (fun (s, (e : Graph.edge)) ->
+                if label_matches nc.nc_label e then Some s else None)
+              (Graph.inn data anchor))
       in
       let spec = node_pred nc.nc_spec in
       not (List.exists (fun m -> spec m (Graph.kind data m)) neighbours))
@@ -217,16 +282,18 @@ let neg_checks_ok (data : Graph.t) (cq : compiled_query) (full : int array) =
 
 (** Embeddings of the query part; each result maps rule node id -> data
     node (non-query nodes map to -1). *)
-let query_embeddings ?(pre_bound = []) (data : Graph.t) (r : Ast.rule)
+let query_embeddings ?(pre_bound = []) ?index (data : Graph.t) (r : Ast.rule)
     (cq : compiled_query) : int array list =
   let n = Array.length r.Ast.nodes in
-  if not (global_negs_ok data cq) then []
+  if not (global_negs_ok ?index data cq) then []
   else begin
   let out = ref [] in
-  Gql_graph.Homo.iter_embeddings ~pre_bound cq.pattern data.Graph.g ~emit:(fun emb ->
+  let prov = Option.map (fun idx -> provider idx cq) index in
+  Gql_graph.Homo.iter_embeddings ~pre_bound ?provider:prov cq.pattern
+    data.Graph.g ~emit:(fun emb ->
       let full = Array.make n (-1) in
       Array.iteri (fun pos qid -> full.(qid) <- emb.(pos)) cq.query_ids;
-      if neg_checks_ok data cq full then out := full :: !out);
+      if neg_checks_ok ?index data cq full then out := full :: !out);
   List.rev !out
   end
 
@@ -461,13 +528,20 @@ let delta_seeds (data : Graph.t) (cq : compiled_query) ~(last_gen : int) :
          | Gql_graph.Homo.Path _ | Gql_graph.Homo.Negated _ -> [])
        cq.pattern.Gql_graph.Homo.p_edges)
 
-(** Run a program to fixpoint.  Mutates [data]; returns statistics. *)
-let run ?(strategy = `Semi_naive) ?(max_rounds = 1000) (data : Graph.t)
-    (p : Ast.program) : stats =
+(** Run a program to fixpoint.  Mutates [data]; returns statistics.
+
+    [use_index] (default on) freezes an index for the *unseeded*
+    matching rounds (round 1, naive strategy, regex rules); seeded
+    delta completion already tracks the delta and would pay a rebuild
+    per round for nothing.  The {!Index.cache} makes consecutive rules
+    in a round share one build. *)
+let run ?(strategy = `Semi_naive) ?(use_index = true) ?(max_rounds = 1000)
+    (data : Graph.t) (p : Ast.program) : stats =
   let errs = Ast.check_program p in
   if errs <> [] then invalid_arg (String.concat "; " errs);
   let compiled = List.map (fun r -> (r, compile_query r)) p.Ast.rules in
   let skolems : skolem_table = Hashtbl.create 64 in
+  let icache = Index.cache () in
   let total_emb = ref 0 and total_nodes = ref 0 and total_edges = ref 0 in
   let round = ref 0 in
   let continue_ = ref true in
@@ -480,7 +554,11 @@ let run ?(strategy = `Semi_naive) ?(max_rounds = 1000) (data : Graph.t)
         let embeddings =
           if !round = 1 || strategy = `Naive || cq.has_regex
              || cq.n_pattern_edges = 0
-          then query_embeddings data r cq
+          then
+            let index =
+              if use_index then Some (Index.refresh icache data) else None
+            in
+            query_embeddings ?index data r cq
           else
             (* Semi-naive: union of delta-seeded matches. *)
             let seeds = delta_seeds data cq ~last_gen:(gen - 1) in
@@ -521,6 +599,6 @@ let run ?(strategy = `Semi_naive) ?(max_rounds = 1000) (data : Graph.t)
 
 (** Evaluate a goal (pure query rule): return its embeddings without
     touching the database. *)
-let goal (data : Graph.t) (r : Ast.rule) : int array list =
+let goal ?index (data : Graph.t) (r : Ast.rule) : int array list =
   let cq = compile_query r in
-  query_embeddings data r cq
+  query_embeddings ?index data r cq

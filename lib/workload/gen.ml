@@ -241,6 +241,46 @@ let restaurants ?(seed = 5) ?(menu_fraction = 0.6) n : Gql_data.Graph.t =
   done;
   g
 
+(* --- labelled entity graphs -------------------------------------------- *)
+
+(** A flat entity graph stressing label/value selectivity: [labels]
+    distinct entity types ["L0" .. "L{labels-1}"] with [per_label]
+    instances each, every instance carrying a unique [key] attribute
+    ["k-<i>"], and [degree] random [rel] edges from each instance of
+    layer [j] into layer [j+1] (wrapping).  Scan-based matching sees
+    [labels * per_label * 2] nodes per candidate pass; indexed matching
+    sees one label bucket — this is the A/B graph of the benchmark
+    trajectory. *)
+let labelled_graph ?(seed = 17) ?(labels = 100) ?(per_label = 500)
+    ?(degree = 3) () : Gql_data.Graph.t =
+  let open Gql_data in
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  let nodes = Array.make_matrix labels per_label (-1) in
+  for l = 0 to labels - 1 do
+    let lbl = Printf.sprintf "L%d" l in
+    for i = 0 to per_label - 1 do
+      let e = Graph.add_complex g lbl in
+      let k =
+        Graph.add_atom g (Value.string (Printf.sprintf "k-%d" ((l * per_label) + i)))
+      in
+      Graph.link g ~src:e ~dst:k (Graph.attr_edge "key");
+      nodes.(l).(i) <- e
+    done
+  done;
+  if labels > 0 && per_label > 0 then Graph.add_root g nodes.(0).(0);
+  for l = 0 to labels - 1 do
+    let next = (l + 1) mod labels in
+    for i = 0 to per_label - 1 do
+      for _ = 1 to degree do
+        let j = Prng.int rng per_label in
+        Graph.link g ~src:nodes.(l).(i) ~dst:nodes.(next).(j)
+          (Graph.rel_edge "rel")
+      done
+    done
+  done;
+  g
+
 (* --- random trees ------------------------------------------------------ *)
 
 let tag_pool = [| "a"; "b"; "c"; "d"; "e"; "item"; "entry"; "node" |]

@@ -10,16 +10,16 @@ exception Ill_formed of string list
 let check_or_raise errs = if errs <> [] then raise (Ill_formed errs)
 
 (** Evaluate one rule; returns the constructed forest. *)
-let run_rule (data : Gql_data.Graph.t) (r : Ast.rule) : Gql_xml.Tree.node list =
+let run_rule ?index (data : Gql_data.Graph.t) (r : Ast.rule) : Gql_xml.Tree.node list =
   check_or_raise (Ast.check_rule r);
-  let bindings = Matching.run data r.query in
+  let bindings = Matching.run ?index data r.query in
   Construct.run data r.construction bindings
 
 (** Evaluate a program; the result is a single element named after
     [p.result_root] containing every rule's output in rule order. *)
-let run_program (data : Gql_data.Graph.t) (p : Ast.program) : Gql_xml.Tree.element =
+let run_program ?index (data : Gql_data.Graph.t) (p : Ast.program) : Gql_xml.Tree.element =
   check_or_raise (Ast.check_program p);
-  let children = List.concat_map (fun r -> run_rule data r) p.rules in
+  let children = List.concat_map (fun r -> run_rule ?index data r) p.rules in
   { Gql_xml.Tree.name = p.result_root; attrs = []; children }
 
 (** Convenience: evaluate over an XML string, producing an XML string. *)
@@ -28,4 +28,5 @@ let run_program_xml ?dtd (xml : string) (p : Ast.program) : string =
   Gql_xml.Printer.element_to_string_pretty (run_program data p)
 
 (** Bindings only — used by benches and the expressiveness matrix. *)
-let query_bindings (data : Gql_data.Graph.t) (q : Ast.query) = Matching.run data q
+let query_bindings ?index (data : Gql_data.Graph.t) (q : Ast.query) =
+  Matching.run ?index data q

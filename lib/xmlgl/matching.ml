@@ -40,6 +40,9 @@ type compiled = {
       (** (src pattern node, dst pattern nodes in pattern order) *)
   cross_preds : (int * Ast.predicate) list;
       (** non-local predicates: (query node, predicate) *)
+  edge_kinds : Ast.qedge_kind list;
+      (** the query-edge kind behind each element of [pattern.p_edges]
+          (same order) — what the index-backed provider navigates by *)
 }
 
 let name_test_matches data test dn =
@@ -163,6 +166,7 @@ let compile (data : Graph.t) (q : Ast.query) : compiled =
   let join_groups : (int, int list) Hashtbl.t = Hashtbl.create 4 in
   let seen_edge_to : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let p_edges = ref [] in
+  let p_kinds = ref [] in
   let absent_checks = ref [] in
   let is_circle qid =
     match q.q_nodes.(qid).q_kind with
@@ -198,7 +202,8 @@ let compile (data : Graph.t) (q : Ast.query) : compiled =
           end
           else qpos.(e.q_dst)
         in
-        p_edges := (qpos.(e.q_src), c, dst) :: !p_edges)
+        p_edges := (qpos.(e.q_src), c, dst) :: !p_edges;
+        p_kinds := e.q_kind_e :: !p_kinds)
     q.q_edges;
   let splits = List.rev !splits in
   let total = n_kept + List.length splits in
@@ -248,7 +253,47 @@ let compile (data : Graph.t) (q : Ast.query) : compiled =
     absent_checks = List.rev !absent_checks;
     ordered_groups;
     cross_preds;
+    edge_kinds = List.rev !p_kinds;
   }
+
+(* --- index-backed candidate provider --------------------------------- *)
+
+(** Global candidates for one query node, from the index.  Supersets are
+    sound: [Gql_graph.Homo] re-applies the node predicate.  Regex name
+    tests run once per distinct label instead of once per node. *)
+let index_candidates (idx : Index.t) (qn : Ast.qnode) : int list =
+  match qn.q_kind with
+  | Ast.Q_elem (Ast.Exact n) -> Array.to_list (Index.complex_with_label idx n)
+  | Ast.Q_elem Ast.Any_name -> Array.to_list (Index.all_complex idx)
+  | Ast.Q_elem (Ast.Name_re pattern) ->
+    let re = Predicate.compiled_regex pattern in
+    Index.complex_matching idx (fun l -> Gql_regex.Chre.matches re l)
+  | Ast.Q_content | Ast.Q_attr -> (
+    match qn.q_pred with
+    | Some p when Predicate.is_local p -> (
+      match Predicate.equality_const p with
+      | Some v -> Array.to_list (Index.atoms_equal idx v)
+      | None -> Array.to_list (Index.all_atoms idx))
+    | Some _ | None -> Array.to_list (Index.all_atoms idx))
+
+let index_nav (idx : Index.t) (k : Ast.qedge_kind) : Gql_graph.Homo.nav option =
+  match k with
+  | Ast.Contains { position = None; _ } -> Some (Index.nav_child idx)
+  | Ast.Contains { position = Some _; _ } ->
+    (* child adjacency is a superset; the ordinal is re-checked *)
+    Some (Index.nav_child_superset idx)
+  | Ast.Deep -> Some (Index.nav_path idx deep_path)
+  | Ast.Attr_of name -> Some (Index.nav_attr idx name)
+  | Ast.Ref_to None -> Some (Index.nav_ref idx)
+  | Ast.Ref_to (Some name) -> Some (Index.nav_ref_named idx name)
+  | Ast.Absent -> None
+
+(** The candidate provider routing this compiled query through [idx]. *)
+let provider (idx : Index.t) (c : compiled) :
+    (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider =
+  let navs = Array.of_list (List.map (index_nav idx) c.edge_kinds) in
+  Index.provider ~navs idx ~candidates:(fun p ->
+      Some (index_candidates idx c.query.Ast.q_nodes.(c.pat_to_query.(p))))
 
 (** Translate a pattern-space embedding into query-node space ([-1] for
     nodes that never bind). *)
@@ -310,12 +355,15 @@ let embedding_ok (c : compiled) (data : Graph.t) (emb : int array) : bool =
       Predicate.eval { Predicate.data; binding } ~self p)
     c.cross_preds
 
-(** All bindings of the query in the data graph. *)
-let run (data : Graph.t) (q : Ast.query) : binding list =
+(** All bindings of the query in the data graph; [index] routes the
+    embedding search through the frozen index instead of graph scans. *)
+let run ?(index : Index.t option) (data : Graph.t) (q : Ast.query) : binding list =
   let c = compile data q in
+  let provider = Option.map (fun idx -> provider idx c) index in
   let out = ref [] in
-  Gql_graph.Homo.iter_embeddings c.pattern data.Graph.g ~emit:(fun emb ->
+  Gql_graph.Homo.iter_embeddings ?provider c.pattern data.Graph.g ~emit:(fun emb ->
       if embedding_ok c data emb then out := to_query_binding c emb :: !out);
   List.rev !out
 
-let count (data : Graph.t) (q : Ast.query) : int = List.length (run data q)
+let count ?index (data : Graph.t) (q : Ast.query) : int =
+  List.length (run ?index data q)

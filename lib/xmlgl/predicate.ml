@@ -98,3 +98,20 @@ let rec eval env ~self (p : Ast.predicate) : bool =
 (** Does the predicate only depend on the node itself (no cross-node
     references)?  Such predicates are pushed into candidate selection. *)
 let is_local (p : Ast.predicate) = Ast.pred_refs p = []
+
+(** A constant the node's own value must equal for [p] to hold, when one
+    is syntactically evident ([self = c], possibly under [And]).  Used to
+    narrow index candidates: any node matching [p] also satisfies the
+    returned equality, so the value index yields a sound superset. *)
+let rec equality_const (p : Ast.predicate) : Value.t option =
+  match p with
+  | Ast.Compare (Ast.Eq, Ast.Self, Ast.Const v)
+  | Ast.Compare (Ast.Eq, Ast.Const v, Ast.Self) ->
+    Some v
+  | Ast.And (a, b) -> (
+    match equality_const a with
+    | Some v -> Some v
+    | None -> equality_const b)
+  | Ast.Compare _ | Ast.Contains_str _ | Ast.Starts_with _ | Ast.Matches _
+  | Ast.Or _ | Ast.Not _ ->
+    None
