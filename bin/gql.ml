@@ -6,6 +6,8 @@
      gql explain  -d data.xml query.gql        show the physical plan
      gql matrix                                the expressiveness table
      gql stats    -d data.xml                  data-graph statistics
+     gql serve    --socket /tmp/gql.sock       resident query service
+     gql client   --socket /tmp/gql.sock ...   talk to a running service
 
    Query files start with a header line: `xmlgl` or `wglog`. *)
 
@@ -13,22 +15,11 @@ open Cmdliner
 
 let read_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let language_of source =
-  (* the header line decides the front-end *)
-  let first_word =
-    String.split_on_char '\n' source
-    |> List.map String.trim
-    |> List.find_opt (fun l -> l <> "" && l.[0] <> '#')
-  in
-  match first_word with
-  | Some l when String.length l >= 5 && String.sub l 0 5 = "wglog" -> `Wglog
-  | Some l when String.length l >= 5 && String.sub l 0 5 = "xmlgl" -> `Xmlgl
-  | _ -> `Unknown
+let language_of = Gql_core.Gql.language_of_source
 
 (* --- common args -------------------------------------------------------- *)
 
@@ -243,6 +234,157 @@ let stats_cmd =
   let info = Cmd.info "stats" ~doc:"Database statistics." in
   Cmd.v info Term.(const action $ data_arg)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen/connect on." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let host_arg =
+  let doc = "TCP host." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "TCP port to listen/connect on." in
+  Arg.(value & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Worker domains (default: hardware-sized)." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Default per-query deadline in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let rcache_arg =
+    let doc = "Result-cache capacity (0 disables)." in
+    Arg.(value & opt int 256 & info [ "rcache" ] ~docv:"N" ~doc)
+  in
+  let preload_arg =
+    let doc =
+      "XML file(s) to pre-load; each is registered under its base name \
+       (data/bibliography.xml -> 'bibliography').  Repeatable."
+    in
+    Arg.(value & opt_all file [] & info [ "d"; "data" ] ~docv:"FILE" ~doc)
+  in
+  let action socket port host workers deadline rcache preload =
+    wrap (fun () ->
+        if socket = None && port = None then
+          failwith "serve needs --socket PATH and/or --port PORT";
+        let config =
+          {
+            Gql_server.Server.default_config with
+            workers;
+            default_deadline_ms = deadline;
+            result_cache = rcache;
+          }
+        in
+        let server = Gql_server.Server.create ~config () in
+        List.iter
+          (fun file ->
+            let name = Filename.remove_extension (Filename.basename file) in
+            match
+              Gql_server.Registry.load_xml
+                (Gql_server.Server.registry server)
+                ~name (read_file file)
+            with
+            | Ok snap ->
+              Printf.printf "loaded %s (v%d, %d nodes, %d edges)\n%!" name
+                snap.Gql_server.Registry.version snap.Gql_server.Registry.nodes
+                snap.Gql_server.Registry.edges
+            | Error msg -> failwith (Printf.sprintf "loading %s: %s" file msg))
+          preload;
+        let listeners =
+          (match socket with
+          | Some path ->
+            let l =
+              Gql_server.Server.listen server (Unix.ADDR_UNIX path)
+            in
+            Printf.printf "listening on unix socket %s\n%!" path;
+            [ l ]
+          | None -> [])
+          @
+          match port with
+          | Some p ->
+            let l =
+              Gql_server.Server.listen server
+                (Unix.ADDR_INET (Unix.inet_addr_of_string host, p))
+            in
+            Printf.printf "listening on %s:%d\n%!" host p;
+            [ l ]
+          | None -> []
+        in
+        Printf.printf "%d worker domain(s); ctrl-C to stop\n%!"
+          (Gql_server.Server.workers server);
+        List.iter Gql_server.Server.wait listeners)
+  in
+  let info = Cmd.info "serve" ~doc:"Serve queries over frozen document snapshots." in
+  Cmd.v info
+    Term.(
+      const action $ socket_arg $ port_arg $ host_arg $ workers_arg
+      $ deadline_arg $ rcache_arg $ preload_arg)
+
+(* --- client ----------------------------------------------------------------- *)
+
+let client_cmd =
+  let words_arg =
+    let doc =
+      "Command and arguments: load DOC FILE | prepare NAME FILE | run DOC \
+       QUERY | explain DOC QUERY | stats DOC | metrics | ping.  QUERY is a \
+       file path (sent as source) or a PREPAREd name."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"CMD" ~doc)
+  in
+  let schema_arg =
+    let doc = "WG-Log schema tag for prepare/run (restaurant|hyperdoc)." in
+    Arg.(value & opt (some string) None & info [ "schema" ] ~docv:"S" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Per-query deadline in milliseconds (run only)." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+  in
+  let action socket port host schema deadline_ms words =
+    wrap (fun () ->
+        let c =
+          match socket, port with
+          | Some path, _ -> Gql_server.Client.connect_unix path
+          | None, Some p -> Gql_server.Client.connect_tcp ~host ~port:p
+          | None, None -> failwith "client needs --socket PATH or --port PORT"
+        in
+        Fun.protect
+          ~finally:(fun () -> Gql_server.Client.close c)
+          (fun () ->
+            let query_ref q =
+              if Sys.file_exists q then `Source (read_file q) else `Named q
+            in
+            let result =
+              match words with
+              | [ "load"; doc; file ] ->
+                Gql_server.Client.load c ~doc (read_file file)
+              | [ "prepare"; name; file ] ->
+                Gql_server.Client.prepare c ~name ?schema (read_file file)
+              | [ "run"; doc; q ] ->
+                Gql_server.Client.run c ~doc ?schema ?deadline_ms (query_ref q)
+              | [ "explain"; doc; q ] ->
+                Gql_server.Client.explain c ~doc (query_ref q)
+              | [ "stats"; doc ] -> Gql_server.Client.stats c ~doc
+              | [ "metrics" ] -> Gql_server.Client.metrics c
+              | [ "ping" ] -> Gql_server.Client.ping c
+              | _ -> failwith "bad client command (see --help)"
+            in
+            match result with
+            | Ok (info, body) ->
+              if info <> "" then Printf.eprintf "OK %s\n%!" info;
+              print_string body
+            | Error msg -> failwith msg))
+  in
+  let info = Cmd.info "client" ~doc:"Send one command to a running gql server." in
+  Cmd.v info
+    Term.(
+      const action $ socket_arg $ port_arg $ host_arg $ schema_arg
+      $ deadline_arg $ words_arg)
+
 let () =
   let info =
     Cmd.info "gql" ~version:"1.0"
@@ -251,4 +393,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; validate_cmd; render_cmd; explain_cmd; xpath_cmd; matrix_cmd; stats_cmd ]))
+          [ run_cmd; validate_cmd; render_cmd; explain_cmd; xpath_cmd; matrix_cmd;
+            stats_cmd; serve_cmd; client_cmd ]))

@@ -69,6 +69,27 @@ let of_graph (graph : Gql_data.Graph.t) : db =
     gindex = Gql_data.Index.cache ();
   }
 
+(** Which front-end a query source selects: the first word of the first
+    non-empty, non-comment line, compared case-insensitively and as an
+    exact word — [WGLOG] parses, [wglogx] does not. *)
+let language_of_source (source : string) : [ `Wglog | `Xmlgl | `Unknown ] =
+  let header =
+    String.split_on_char '\n' source
+    |> List.map String.trim
+    |> List.find_opt (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match header with
+  | None -> `Unknown
+  | Some line -> (
+    let is_blank c = c = ' ' || c = '\t' || c = '\r' in
+    let stop = ref (String.length line) in
+    String.iteri (fun i c -> if is_blank c && i < !stop then stop := i) line;
+    let first_word = String.sub line 0 !stop in
+    match String.lowercase_ascii first_word with
+    | "wglog" -> `Wglog
+    | "xmlgl" -> `Xmlgl
+    | _ -> `Unknown)
+
 (* ------------------------------------------------------------------ *)
 (* XML-GL                                                              *)
 (* ------------------------------------------------------------------ *)

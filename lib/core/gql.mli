@@ -46,6 +46,12 @@ val index : db -> Gql_data.Index.t
 (** The frozen {!Gql_data.Index} over [db.graph], built on first use and
     cached until the graph grows. *)
 
+val language_of_source : string -> [ `Wglog | `Xmlgl | `Unknown ]
+(** Which front-end a query source selects: the first word of its first
+    non-empty, non-comment ([#]) line, compared case-insensitively and
+    as an exact word — so [WGLOG] selects WG-Log but [wglogx] selects
+    nothing.  Shared by the CLI and the query service. *)
+
 (** {1 XML-GL} *)
 
 val parse_xmlgl : string -> Gql_xmlgl.Ast.program

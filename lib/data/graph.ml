@@ -42,6 +42,11 @@ let dummy_kind = Complex ""
 let create () : t =
   { g = Gql_graph.Digraph.create ~dummy:dummy_kind; roots = [] }
 
+(** An independent copy of the data graph; forked snapshots let the
+    deductive WG-Log evaluator saturate a private graph while the
+    original stays frozen (the server's per-request semantics). *)
+let copy t : t = { g = Gql_graph.Digraph.copy t.g; roots = t.roots }
+
 let add_complex t label = Gql_graph.Digraph.add_node t.g (Complex label)
 let add_atom t v = Gql_graph.Digraph.add_node t.g (Atom v)
 let add_root t n = t.roots <- t.roots @ [ n ]

@@ -92,4 +92,20 @@ let map ~node ~edge ~dummy g =
   iter_edges (fun ~src ~dst l -> add_edge g' ~src ~dst (edge l)) g;
   g'
 
-let copy ~dummy g = map ~node:(fun _ p -> p) ~edge:Fun.id ~dummy g
+(** An independent structural copy: same node ids, same adjacency-list
+    order (so evaluation over the copy enumerates embeddings exactly as
+    over the original), no shared mutable state. *)
+let copy g =
+  let copy_adj v =
+    let v' = Vec.copy v in
+    for i = 0 to Vec.length v' - 1 do
+      Vec.set v' i (Array.copy (Vec.get v' i))
+    done;
+    v'
+  in
+  {
+    payloads = Vec.copy g.payloads;
+    out_adj = copy_adj g.out_adj;
+    in_adj = copy_adj g.in_adj;
+    n_edges = g.n_edges;
+  }

@@ -25,6 +25,9 @@ let push v x =
   v.len <- v.len + 1;
   v.len - 1
 
+(** An independent copy sharing no mutable state with the original. *)
+let copy v = { data = Array.copy v.data; len = v.len; dummy = v.dummy }
+
 let iteri f v =
   for i = 0 to v.len - 1 do
     f i v.data.(i)

@@ -1,0 +1,67 @@
+(** The document registry: named, versioned, frozen snapshots.
+
+    [LOAD] parses the XML, encodes the data graph and builds the frozen
+    {!Gql_data.Index} *once*; the resulting snapshot is then shared
+    immutably by every worker domain — reads need no lock because
+    nothing ever mutates a published snapshot.  Re-loading a name
+    installs a fresh snapshot under a bumped [version]; the version is
+    part of every result-cache key, so cached results of the old
+    snapshot can never be served for the new one.
+
+    The only mutation a query can demand — WG-Log's deductive fixpoint —
+    happens on a {!fork}: a private copy of the data graph, discarded
+    after the request. *)
+
+type snapshot = {
+  name : string;
+  version : int;
+  db : Gql_core.Gql.db;  (** graph + document + DTD, treated read-only *)
+  index : Gql_data.Index.t;  (** frozen CSR + access paths *)
+  nodes : int;
+  edges : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, snapshot) Hashtbl.t;
+  versions : (string, int) Hashtbl.t;  (** survives re-loads *)
+}
+
+let create () =
+  { mutex = Mutex.create (); table = Hashtbl.create 8; versions = Hashtbl.create 8 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let publish t name (db : Gql_core.Gql.db) : snapshot =
+  let index = Gql_data.Index.build db.Gql_core.Gql.graph in
+  let nodes, edges = Gql_core.Gql.stats db in
+  locked t (fun () ->
+      let version = 1 + Option.value ~default:0 (Hashtbl.find_opt t.versions name) in
+      Hashtbl.replace t.versions name version;
+      let snap = { name; version; db; index; nodes; edges } in
+      Hashtbl.replace t.table name snap;
+      snap)
+
+(** Parse, encode and index an XML source under [name]. *)
+let load_xml t ~name (xml : string) : (snapshot, string) result =
+  match Gql_core.Gql.load_xml_string xml with
+  | db -> Ok (publish t name db)
+  | exception Gql_core.Gql.Error msg -> Error msg
+
+(** Register an existing entity graph (databases that never were XML,
+    e.g. the WG-Log restaurant base). *)
+let add_graph t ~name (g : Gql_data.Graph.t) : snapshot =
+  publish t name (Gql_core.Gql.of_graph g)
+
+let find t name : snapshot option =
+  locked t (fun () -> Hashtbl.find_opt t.table name)
+
+let names t : string list =
+  locked t (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare)
+
+(** A private mutable copy of the snapshot's graph for deductive runs. *)
+let fork (snap : snapshot) : Gql_data.Graph.t =
+  Gql_data.Graph.copy snap.db.Gql_core.Gql.graph

@@ -1,0 +1,325 @@
+(** The query service: frozen snapshots behind a socket.
+
+    One [t] owns the four shared structures — document {!Registry},
+    prepared-{!Qcache}, result-{!Rcache} and {!Metrics} — plus a
+    {!Pool} of worker domains.  Listeners (TCP and/or Unix-domain)
+    accept in a lightweight thread and hand each connection to the
+    pool, so up to [workers] connections evaluate in parallel over the
+    same immutable snapshots.
+
+    Request handling is a pure [payload -> payload] function
+    ({!handle_payload}), which is also the in-process entry point the
+    tests and benchmarks drive without sockets.
+
+    Deadlines: a [RUN] may carry [deadline=MS] (or inherit the server
+    default).  The engines are not preemptible, so the deadline is
+    enforced at the evaluation boundaries — a request that has already
+    overstayed when it reaches the evaluator, or that finishes past its
+    deadline, answers [TIMEOUT] instead of the result.  A completed
+    result is still cached, so a retry of a timed-out query usually
+    hits. *)
+
+type config = {
+  workers : int option;  (** worker domains; default {!Pool.default_size} *)
+  result_cache : int;  (** LRU capacity; [0] disables result caching *)
+  query_cache : int;  (** prepared-query capacity *)
+  default_deadline_ms : float option;
+}
+
+let default_config =
+  { workers = None; result_cache = 256; query_cache = 1024; default_deadline_ms = None }
+
+type t = {
+  config : config;
+  registry : Registry.t;
+  qcache : Qcache.t;
+  rcache : Rcache.t option;
+  metrics : Metrics.t;
+  pool : Pool.t;
+  mutex : Mutex.t;  (** listener list *)
+  mutable listeners : Unix.file_descr list;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    registry = Registry.create ();
+    qcache = Qcache.create ~capacity:config.query_cache ();
+    rcache =
+      (if config.result_cache > 0 then
+         Some (Rcache.create ~capacity:config.result_cache ())
+       else None);
+    metrics = Metrics.create ();
+    pool = Pool.create ?size:config.workers ();
+    mutex = Mutex.create ();
+    listeners = [];
+  }
+
+let registry t = t.registry
+let metrics t = t.metrics
+let workers t = Pool.size t.pool
+
+(** The exact [RUN] body of a WG-Log fixpoint — kept in one place so the
+    server, the CLI and the byte-identity tests cannot drift apart. *)
+let wglog_stats_line (s : Gql_wglog.Eval.stats) =
+  Printf.sprintf "fixpoint reached: %d rounds, %d embeddings, +%d nodes, +%d edges\n"
+    s.Gql_wglog.Eval.rounds s.embeddings_found s.nodes_added s.edges_added
+
+(* ------------------------------------------------------------------ *)
+(* Request handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let ok ?(info = "") body = Protocol.Ok_ { info; body }
+
+let require_doc t doc k =
+  match Registry.find t.registry doc with
+  | Some snap -> k snap
+  | None -> Protocol.Err (Printf.sprintf "no document %S (LOAD it first)" doc)
+
+(** Resolve a [RUN]/[EXPLAIN] query reference through the prepared
+    cache, counting hits/misses. *)
+let resolve_query t ~schema query k =
+  let r =
+    match query with
+    | `Named name -> Qcache.find_named t.qcache name
+    | `Source src -> Qcache.intern t.qcache ~schema src
+  in
+  match r with
+  | Error msg -> Protocol.Err msg
+  | Ok (entry, hit) ->
+    Metrics.incr
+      (if hit then t.metrics.Metrics.prepared_hits
+       else t.metrics.Metrics.prepared_misses);
+    k entry
+
+let cache_key (snap : Registry.snapshot) (entry : Qcache.entry) kind =
+  {
+    Rcache.doc = snap.Registry.name;
+    version = snap.Registry.version;
+    qhash = entry.Qcache.hash;
+    kind;
+  }
+
+(** Look up / fill the result cache around an evaluation thunk. *)
+let with_result_cache t snap entry kind (eval : unit -> string * string) :
+    string * string =
+  match t.rcache with
+  | None ->
+    Metrics.incr t.metrics.Metrics.result_misses;
+    eval ()
+  | Some rc -> (
+    let key = cache_key snap entry kind in
+    match Rcache.find rc key with
+    | Some (info, body) ->
+      Metrics.incr t.metrics.Metrics.result_hits;
+      ((if info = "" then "cached" else info ^ " cached"), body)
+    | None ->
+      Metrics.incr t.metrics.Metrics.result_misses;
+      let info, body = eval () in
+      Rcache.add rc key ~info body;
+      (info, body))
+
+let evaluate (snap : Registry.snapshot) (entry : Qcache.entry) : string * string =
+  match entry.Qcache.prepared with
+  | Qcache.Xmlgl p ->
+    let result =
+      Gql_xmlgl.Engine.run_program ~index:snap.Registry.index
+        snap.Registry.db.Gql_core.Gql.graph p
+    in
+    let body = Gql_core.Gql.to_xml_string result in
+    ( Printf.sprintf "lang=xmlgl hits=%d" (List.length result.Gql_xml.Tree.children),
+      body )
+  | Qcache.Wglog p ->
+    (* deductive semantics mutate: run on a private fork, publish nothing *)
+    let g = Registry.fork snap in
+    let stats = Gql_wglog.Eval.run g p in
+    ( Printf.sprintf "lang=wglog derived_edges=%d" stats.Gql_wglog.Eval.edges_added,
+      wglog_stats_line stats )
+
+let explain (snap : Registry.snapshot) (entry : Qcache.entry) : string * string =
+  match entry.Qcache.prepared with
+  | Qcache.Xmlgl p -> (
+    match p.Gql_xmlgl.Ast.rules with
+    | [] -> ("lang=xmlgl", "(no rules)\n")
+    | r :: _ ->
+      ( "lang=xmlgl",
+        Gql_algebra.Exec.explain_xmlgl ~index:snap.Registry.index
+          snap.Registry.db.Gql_core.Gql.graph r.Gql_xmlgl.Ast.query ))
+  | Qcache.Wglog _ -> ("lang=wglog", "EXPLAIN supports XML-GL queries\n")
+
+let handle_request t (req : Protocol.request) ~(started : float) :
+    Protocol.response =
+  match req with
+  | Protocol.Ping -> ok ~info:"pong" ""
+  | Protocol.Quit -> ok ~info:"bye" ""
+  | Protocol.Metrics -> ok (Metrics.render t.metrics)
+  | Protocol.Load { doc; xml } -> (
+    match Registry.load_xml t.registry ~name:doc xml with
+    | Error msg -> Protocol.Err msg
+    | Ok snap ->
+      Metrics.incr t.metrics.Metrics.loads;
+      Option.iter (fun rc -> Rcache.purge_doc rc doc) t.rcache;
+      ok
+        ~info:
+          (Printf.sprintf "doc=%s version=%d nodes=%d edges=%d" snap.Registry.name
+             snap.Registry.version snap.Registry.nodes snap.Registry.edges)
+        "")
+  | Protocol.Prepare { name; schema; source } -> (
+    match Qcache.prepare t.qcache ~name ~schema source with
+    | Error msg -> Protocol.Err msg
+    | Ok (entry, hit) ->
+      Metrics.incr
+        (if hit then t.metrics.Metrics.prepared_hits
+         else t.metrics.Metrics.prepared_misses);
+      ok
+        ~info:
+          (Printf.sprintf "name=%s lang=%s hash=%s" name
+             (match entry.Qcache.lang with `Xmlgl -> "xmlgl" | `Wglog -> "wglog")
+             entry.Qcache.hash)
+        "")
+  | Protocol.Stats { doc } ->
+    require_doc t doc (fun snap ->
+        ok
+          (Printf.sprintf "name=%s\nversion=%d\nnodes=%d\nedges=%d\ndocument=%b\n"
+             snap.Registry.name snap.Registry.version snap.Registry.nodes
+             snap.Registry.edges
+             (Option.is_some snap.Registry.db.Gql_core.Gql.document)))
+  | Protocol.Explain { doc; query } ->
+    require_doc t doc (fun snap ->
+        resolve_query t ~schema:None query (fun entry ->
+            let info, body =
+              with_result_cache t snap entry "explain" (fun () ->
+                  explain snap entry)
+            in
+            ok ~info body))
+  | Protocol.Run { doc; query; schema; deadline_ms } ->
+    require_doc t doc (fun snap ->
+        resolve_query t ~schema query (fun entry ->
+            let deadline =
+              match deadline_ms with
+              | Some _ -> deadline_ms
+              | None -> t.config.default_deadline_ms
+            in
+            let elapsed_ms () = (Unix.gettimeofday () -. started) *. 1000.0 in
+            let overdue () =
+              match deadline with Some d -> elapsed_ms () > d | None -> false
+            in
+            if overdue () then begin
+              Metrics.incr t.metrics.Metrics.timeouts;
+              Protocol.Timeout { elapsed_ms = elapsed_ms () }
+            end
+            else begin
+              Metrics.incr t.metrics.Metrics.runs;
+              let info, body =
+                with_result_cache t snap entry "run" (fun () -> evaluate snap entry)
+              in
+              if overdue () then begin
+                (* the work is done (and cached) but the client's budget
+                   is blown: answer the truth *)
+                Metrics.incr t.metrics.Metrics.timeouts;
+                Protocol.Timeout { elapsed_ms = elapsed_ms () }
+              end
+              else
+                ok ~info:(Printf.sprintf "%s ms=%.2f" info (elapsed_ms ())) body
+            end))
+
+(** The full service function: request payload in, response payload out.
+    Everything — parse errors included — becomes a framed response;
+    metrics are recorded here so in-process callers count too. *)
+let handle_payload t (payload : string) : string =
+  let started = Unix.gettimeofday () in
+  Metrics.incr t.metrics.Metrics.requests;
+  let response =
+    match Protocol.parse_request payload with
+    | req -> (
+      try handle_request t req ~started with
+      | Gql_core.Gql.Error msg | Failure msg -> Protocol.Err msg
+      | Protocol.Protocol_error msg -> Protocol.Err msg)
+    | exception Protocol.Protocol_error msg -> Protocol.Err msg
+  in
+  (match response with
+  | Protocol.Err _ -> Metrics.incr t.metrics.Metrics.errors
+  | Protocol.Timeout _ | Protocol.Ok_ _ -> ());
+  Metrics.observe t.metrics.Metrics.latency
+    ~us:(int_of_float ((Unix.gettimeofday () -. started) *. 1e6));
+  Protocol.render_response response
+
+(* ------------------------------------------------------------------ *)
+(* Connections and listeners                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_quit payload =
+  match Protocol.parse_request payload with
+  | Protocol.Quit -> true
+  | _ | (exception Protocol.Protocol_error _) -> false
+
+let handle_connection t (fd : Unix.file_descr) : unit =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match Protocol.read_frame ic with
+    | None -> ()
+    | Some payload ->
+      let response = handle_payload t payload in
+      Protocol.write_frame oc response;
+      if not (is_quit payload) then loop ()
+  in
+  (try loop () with
+  | Protocol.Protocol_error msg ->
+    (try Protocol.write_frame oc (Protocol.render_response (Protocol.Err msg))
+     with Sys_error _ | Unix.Unix_error _ -> ())
+  | End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+type listener = { fd : Unix.file_descr; thread : Thread.t }
+
+(** Bind, listen and accept in a background thread; each connection is
+    handled on a pool domain.  [ADDR_UNIX path] unlinks a stale socket
+    file first. *)
+let listen t (addr : Unix.sockaddr) : listener =
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Unix.ADDR_UNIX path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd addr;
+  Unix.listen fd 64;
+  let thread =
+    Thread.create
+      (fun () ->
+        let rec accept_loop () =
+          match Unix.accept fd with
+          | conn, _ ->
+            Pool.submit t.pool (fun () -> handle_connection t conn);
+            accept_loop ()
+          | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+            () (* listener shut down: stop *)
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+            ->
+            accept_loop ()
+        in
+        accept_loop ())
+      ()
+  in
+  Mutex.lock t.mutex;
+  t.listeners <- fd :: t.listeners;
+  Mutex.unlock t.mutex;
+  { fd; thread }
+
+let wait (l : listener) = Thread.join l.thread
+
+(** Close every listener and join the worker domains (in-flight
+    connections finish first). *)
+let stop t =
+  Mutex.lock t.mutex;
+  let fds = t.listeners in
+  t.listeners <- [];
+  Mutex.unlock t.mutex;
+  List.iter
+    (fun fd ->
+      (* shutdown wakes a blocked accept (EINVAL on Linux); close alone
+         can leave the accept thread parked forever *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    fds;
+  Pool.shutdown t.pool

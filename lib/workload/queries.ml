@@ -296,3 +296,41 @@ let suite : entry list =
     { name = "Q12"; description = "derive root links via index+"; kind = `Wglog q12;
       xpath = None; workload = `Hyperdocs };
   ]
+
+(* --- the server workload ------------------------------------------------ *)
+
+(** One request of the serving workload: run [source] against the
+    registered document [doc] (under [schema] for WG-Log sources). *)
+type server_query = {
+  sq_name : string;
+  doc : string;
+  schema : string option;
+  source : string;
+}
+
+(** Every suite query that makes sense against a *served* snapshot,
+    tagged with the document name the server-side registries use
+    (documents are registered under their generator names).  Q10 is the
+    WG-Log member: it exercises the server's fork-per-request path. *)
+let server_suite : server_query list =
+  [
+    { sq_name = "Q1"; doc = "bibliography"; schema = None; source = q1_src };
+    { sq_name = "Q2"; doc = "bibliography"; schema = None; source = q2_src };
+    { sq_name = "Q7"; doc = "bibliography"; schema = None; source = q7_src };
+    { sq_name = "Q8"; doc = "bibliography"; schema = None; source = q8_src };
+    { sq_name = "Q3"; doc = "people"; schema = None; source = q3_src };
+    { sq_name = "Q6"; doc = "people"; schema = None; source = q6_src };
+    { sq_name = "Q9"; doc = "people"; schema = None; source = q9_src };
+    { sq_name = "Q4"; doc = "greengrocer"; schema = None; source = q4_src };
+    { sq_name = "Q5"; doc = "greengrocer"; schema = None; source = q5_src };
+    { sq_name = "Q10"; doc = "restaurants"; schema = Some "restaurant";
+      source = q10_src };
+  ]
+
+(** A reproducible request stream: [n] draws from {!server_suite} under
+    [seed] — the same seed always yields the same mixed WG-Log/XML-GL
+    sequence, which is what makes load tests and E12 comparable
+    run-to-run. *)
+let server_mix ?(seed = 0) n : server_query list =
+  let rng = Prng.create (0x5e12 + seed) in
+  List.init n (fun _ -> Prng.pick_list rng server_suite)
