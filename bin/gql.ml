@@ -45,6 +45,15 @@ let wrap f =
   | Gql_core.Gql.Error msg | Failure msg ->
     prerr_endline ("error: " ^ msg);
     1
+  | Gql_wglog.Eval.Invalid_query msg | Gql_xmlgl.Construct.Invalid_query msg ->
+    prerr_endline ("error: invalid query: " ^ msg);
+    1
+  | Gql_xmlgl.Engine.Ill_formed errs ->
+    prerr_endline ("error: invalid query: " ^ String.concat "; " errs);
+    1
+  | Gql_xpath.Eval.Eval_error msg ->
+    prerr_endline ("error: XPath: " ^ msg);
+    1
   | Gql_xml.Parser.Error (msg, pos) ->
     Printf.eprintf "error: XML %d:%d: %s\n" pos.Gql_xml.Parser.line
       pos.Gql_xml.Parser.col msg;
@@ -325,6 +334,74 @@ let serve_cmd =
       const action $ socket_arg $ port_arg $ host_arg $ workers_arg
       $ deadline_arg $ rcache_arg $ preload_arg)
 
+(* --- fuzz ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let seed_arg =
+    let doc =
+      "Base seed.  Case $(i,i) of a run uses seed $(i,BASE+i), so a reported \
+       failing seed replays alone with --seed N --cases 1."
+    in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let cases_arg =
+    let doc = "Number of cases to generate." in
+    Arg.(value & opt int 1000 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Oracle to run: scan-vs-index, digraph-vs-csr, engine-vs-algebra or \
+       direct-vs-served.  Repeatable; default is all four."
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let out_arg =
+    let doc = "Directory to write minimized .repro files into." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let action seed cases oracle_names out_dir =
+    wrap (fun () ->
+        let oracles =
+          match oracle_names with
+          | [] -> Gql_fuzz.Oracle.all
+          | names ->
+            List.map
+              (fun n ->
+                match Gql_fuzz.Oracle.of_string n with
+                | Some o -> o
+                | None -> failwith (Printf.sprintf "unknown oracle %S" n))
+              names
+        in
+        let cfg =
+          {
+            Gql_fuzz.Driver.base_seed = seed;
+            cases;
+            oracles;
+            out_dir;
+            log = (fun line -> Printf.printf "%s\n%!" line);
+          }
+        in
+        let outcome = Gql_fuzz.Driver.run cfg in
+        Printf.printf "%d case(s), %d check(s), %d failure(s)\n%!"
+          outcome.Gql_fuzz.Driver.cases_run outcome.Gql_fuzz.Driver.checks_run
+          (List.length outcome.Gql_fuzz.Driver.failures);
+        match outcome.Gql_fuzz.Driver.failures with
+        | [] -> ()
+        | f :: _ ->
+          failwith
+            (Printf.sprintf "first failure: seed=%d oracle=%s (%s)"
+               f.Gql_fuzz.Driver.seed
+               (Gql_fuzz.Oracle.to_string f.Gql_fuzz.Driver.oracle)
+               f.Gql_fuzz.Driver.detail))
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:
+        "Differential fuzzing: random documents and programs checked across \
+         redundant evaluation paths."
+  in
+  Cmd.v info Term.(const action $ seed_arg $ cases_arg $ oracle_arg $ out_arg)
+
 (* --- client ----------------------------------------------------------------- *)
 
 let client_cmd =
@@ -394,4 +471,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; validate_cmd; render_cmd; explain_cmd; xpath_cmd; matrix_cmd;
-            stats_cmd; serve_cmd; client_cmd ]))
+            stats_cmd; serve_cmd; client_cmd; fuzz_cmd ]))

@@ -1,0 +1,112 @@
+(** On-disk format for minimized fuzz repros.
+
+    A repro is everything needed to replay one oracle on one input
+    with no randomness left: the seed and oracle it came from, the
+    (minimized) query source and document, and for the graph oracle
+    the side-graph seed.  The format is line-oriented text so repros
+    diff cleanly and can be authored by hand:
+
+    {v
+    # gql fuzz minimized repro
+    seed: 12345
+    oracle: direct-vs-served
+    detail: cold served ERR: ...
+    graph_seed: 0
+    --- query
+    xmlgl ...
+    --- doc
+    <a>...</a>
+    v}
+
+    Files live in [test/corpus/] and are replayed by
+    [test_fuzz_corpus] on every test run, so every bug the fuzzer ever
+    minimized stays fixed. *)
+
+type repro = {
+  seed : int;
+  oracle : string;  (** {!Oracle.to_string} form *)
+  detail : string;  (** the failure line at minimization time *)
+  graph_seed : int;  (** only meaningful for digraph-vs-csr *)
+  source : string;  (** minimized query program (or label regex) *)
+  xml : string;  (** minimized document; [""] when the oracle has none *)
+}
+
+let render (r : repro) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# gql fuzz minimized repro\n";
+  Printf.bprintf buf "seed: %d\n" r.seed;
+  Printf.bprintf buf "oracle: %s\n" r.oracle;
+  (* keep the detail single-line so the header stays line-oriented *)
+  let detail =
+    String.map (function '\n' | '\r' -> ' ' | c -> c) r.detail
+  in
+  Printf.bprintf buf "detail: %s\n" detail;
+  Printf.bprintf buf "graph_seed: %d\n" r.graph_seed;
+  Buffer.add_string buf "--- query\n";
+  Buffer.add_string buf r.source;
+  if r.source <> "" && r.source.[String.length r.source - 1] <> '\n' then
+    Buffer.add_char buf '\n';
+  Buffer.add_string buf "--- doc\n";
+  Buffer.add_string buf r.xml;
+  if r.xml <> "" && r.xml.[String.length r.xml - 1] <> '\n' then
+    Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let filename (r : repro) = Printf.sprintf "seed%d-%s.repro" r.seed r.oracle
+
+let write ~(dir : string) (r : repro) : string =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (filename r) in
+  let oc = open_out path in
+  output_string oc (render r);
+  close_out oc;
+  path
+
+let parse (text : string) : repro =
+  let lines = String.split_on_char '\n' text in
+  let headers = Hashtbl.create 8 in
+  let query = ref [] and doc = ref [] in
+  let section = ref `Header in
+  List.iter
+    (fun line ->
+      match !section, line with
+      | _, "--- query" -> section := `Query
+      | _, "--- doc" -> section := `Doc
+      | `Header, line -> (
+        if String.length line > 0 && line.[0] <> '#' then
+          match String.index_opt line ':' with
+          | Some i ->
+            let key = String.sub line 0 i in
+            let v =
+              String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            in
+            Hashtbl.replace headers key v
+          | None -> ())
+      | `Query, line -> query := line :: !query
+      | `Doc, line -> doc := line :: !doc)
+    lines;
+  let get key default =
+    match Hashtbl.find_opt headers key with Some v -> v | None -> default
+  in
+  let section_text rev_lines =
+    (* the file's final newline invents one trailing empty line *)
+    let lines =
+      match rev_lines with "" :: rest -> List.rev rest | l -> List.rev l
+    in
+    String.concat "\n" lines
+  in
+  {
+    seed = int_of_string (get "seed" "0");
+    oracle = get "oracle" "";
+    detail = get "detail" "";
+    graph_seed = int_of_string (get "graph_seed" "0");
+    source = section_text !query;
+    xml = section_text !doc;
+  }
+
+let load (path : string) : repro =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text

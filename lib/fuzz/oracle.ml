@@ -1,0 +1,251 @@
+(** The four differential oracles.
+
+    Each oracle evaluates the same question along two redundant paths
+    that share as little code as possible and demands byte-identical
+    answers:
+
+    - {!scan_vs_index}: embedding search with scan candidates vs. the
+      frozen index provider (same embeddings, same order);
+    - {!digraph_vs_csr}: regular-path reachability over the mutable
+      [Digraph] vs. the frozen [Csr] view (both sorted);
+    - {!engine_vs_algebra}: the direct XML-GL matcher vs. the algebra
+      planner/executor under both join strategies (compared as sorted
+      binding sets — plan order is not part of the contract);
+    - {!direct_vs_served}: in-process evaluation vs. a [gql serve]
+      round-trip, cold and cached.
+
+    Any disagreement — including one side raising where the other
+    answers — is a {!Fail}; uncaught exceptions are converted to
+    failures by the driver.  Every oracle takes plain strings so the
+    shrinker can re-run it on candidate inputs. *)
+
+type name = Scan_vs_index | Digraph_vs_csr | Engine_vs_algebra | Direct_vs_served
+
+let all = [ Scan_vs_index; Digraph_vs_csr; Engine_vs_algebra; Direct_vs_served ]
+
+let to_string = function
+  | Scan_vs_index -> "scan-vs-index"
+  | Digraph_vs_csr -> "digraph-vs-csr"
+  | Engine_vs_algebra -> "engine-vs-algebra"
+  | Direct_vs_served -> "direct-vs-served"
+
+let of_string = function
+  | "scan-vs-index" -> Some Scan_vs_index
+  | "digraph-vs-csr" -> Some Digraph_vs_csr
+  | "engine-vs-algebra" -> Some Engine_vs_algebra
+  | "direct-vs-served" -> Some Direct_vs_served
+  | _ -> None
+
+type verdict = Pass | Fail of string
+
+let failf fmt = Printf.ksprintf (fun s -> Fail s) fmt
+
+(* Evaluate a thunk to a result-or-error; the typed errors the engines
+   may legitimately raise become comparable [Error] values, so an
+   oracle can also check that both paths *reject* an input. *)
+let capture (f : unit -> 'a) : ('a, string) result =
+  match f () with
+  | v -> Ok v
+  | exception Gql_core.Gql.Error msg -> Error ("gql: " ^ msg)
+  | exception Gql_wglog.Eval.Invalid_query msg -> Error ("invalid query: " ^ msg)
+  | exception Gql_xmlgl.Construct.Invalid_query msg ->
+    Error ("invalid query: " ^ msg)
+  | exception Gql_xmlgl.Engine.Ill_formed errs ->
+    Error ("invalid query: " ^ String.concat "; " errs)
+  | exception Failure msg -> Error ("failure: " ^ msg)
+
+let norm_bindings (bs : int array list) : int list list =
+  List.sort compare (List.map Array.to_list bs)
+
+(* ------------------------------------------------------------------ *)
+(* (a) scan vs. indexed candidates                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scan_vs_index ~(xml : string) ~(source : string) : verdict =
+  match capture (fun () -> Gql_core.Gql.load_xml_string xml) with
+  | Error e -> failf "document rejected: %s" e
+  | Ok db -> (
+    let data = db.Gql_core.Gql.graph in
+    match Gql_core.Gql.language_of_source source with
+    | `Xmlgl -> (
+      let run use_index =
+        capture (fun () ->
+            let p = Gql_core.Gql.parse_xmlgl source in
+            List.concat_map
+              (fun (r : Gql_xmlgl.Ast.rule) ->
+                if use_index then
+                  Gql_xmlgl.Engine.query_bindings ~index:(Gql_core.Gql.index db)
+                    data r.Gql_xmlgl.Ast.query
+                else Gql_xmlgl.Engine.query_bindings data r.Gql_xmlgl.Ast.query)
+              p.Gql_xmlgl.Ast.rules)
+      in
+      match run false, run true with
+      | Ok scan, Ok indexed ->
+        if List.equal (fun a b -> a = b) (List.map Array.to_list scan)
+             (List.map Array.to_list indexed)
+        then Pass
+        else
+          failf "xmlgl bindings differ: scan=%d indexed=%d" (List.length scan)
+            (List.length indexed)
+      | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
+      | Ok _, Error e -> failf "indexed raised where scan answered: %s" e
+      | Error e, Ok _ -> failf "scan raised where indexed answered: %s" e)
+    | `Wglog -> (
+      let run use_index =
+        capture (fun () ->
+            let p = Gql_core.Gql.parse_wglog source in
+            List.concat_map
+              (fun r ->
+                if use_index then
+                  Gql_wglog.Eval.goal ~index:(Gql_core.Gql.index db) data r
+                else Gql_wglog.Eval.goal data r)
+              p.Gql_wglog.Ast.rules)
+      in
+      match run false, run true with
+      | Ok scan, Ok indexed ->
+        if List.map Array.to_list scan = List.map Array.to_list indexed then Pass
+        else
+          failf "wglog embeddings differ: scan=%d indexed=%d" (List.length scan)
+            (List.length indexed)
+      | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
+      | Ok _, Error e -> failf "indexed raised where scan answered: %s" e
+      | Error e, Ok _ -> failf "scan raised where indexed answered: %s" e)
+    | `Unknown -> failf "query source has no language header")
+
+(* ------------------------------------------------------------------ *)
+(* (b) Digraph vs. frozen Csr regular-path search                      *)
+(* ------------------------------------------------------------------ *)
+
+let digraph_vs_csr ~(graph_seed : int) ~(regex_src : string) : verdict =
+  match Gql_lang.Label_re.parse regex_src with
+  (* a regex the parser refuses is vacuous for this oracle; the
+     parse-error path has its own unit tests *)
+  | exception Gql_lang.Label_re.Error _ -> Pass
+  | re -> (
+    let g = Casegen.gen_graph ~graph_seed in
+    let rp =
+      Gql_graph.Regpath.compile
+        (fun sym lbl -> Gql_lang.Label_re.symbol_matches sym lbl)
+        re
+    in
+    let frozen = Gql_graph.Csr.freeze g in
+    let n = Gql_graph.Digraph.n_nodes g in
+    let rec check_from s =
+      if s >= n then Pass
+      else
+        let live = Gql_graph.Regpath.reachable rp g s in
+        let cold = Gql_graph.Regpath.reachable_frozen rp frozen s in
+        if live <> cold then
+          failf "reachable sets differ from node %d under /%s/: live=%d frozen=%d"
+            s regex_src (List.length live) (List.length cold)
+        else check_from (s + 1)
+    in
+    check_from 0)
+
+(* ------------------------------------------------------------------ *)
+(* (c) direct engine vs. algebra planner/exec                          *)
+(* ------------------------------------------------------------------ *)
+
+let engine_vs_algebra ~(xml : string) ~(source : string) : verdict =
+  match Gql_core.Gql.language_of_source source with
+  | `Wglog | `Unknown -> Pass (* the algebra path plans XML-GL queries *)
+  | `Xmlgl -> (
+    match
+      capture (fun () ->
+          let db = Gql_core.Gql.load_xml_string xml in
+          let p = Gql_core.Gql.parse_xmlgl source in
+          (db, p))
+    with
+    | Error e -> failf "inputs rejected: %s" e
+    | Ok (db, p) ->
+      let data = db.Gql_core.Gql.graph in
+      let idx = Gql_core.Gql.index db in
+      let rec rules = function
+        | [] -> Pass
+        | (r : Gql_xmlgl.Ast.rule) :: rest -> (
+          let q = r.Gql_xmlgl.Ast.query in
+          let direct =
+            capture (fun () -> norm_bindings (Gql_xmlgl.Matching.run ~index:idx data q))
+          in
+          let planned strategy =
+            capture (fun () ->
+                norm_bindings (Gql_algebra.Exec.run_xmlgl ~strategy ~index:idx data q))
+          in
+          match direct, planned `Greedy, planned `Fixed with
+          | Ok d, Ok g, Ok f ->
+            if d = g && d = f then rules rest
+            else
+              failf "binding sets differ: direct=%d greedy=%d fixed=%d"
+                (List.length d) (List.length g) (List.length f)
+          | Error a, Error b, Error c ->
+            if a = b && a = c then rules rest
+            else failf "errors differ: %s / %s / %s" a b c
+          | d, g, f ->
+            let s = function Ok _ -> "ok" | Error e -> e in
+            failf "one path raised: direct=%s greedy=%s fixed=%s" (s d) (s g) (s f))
+      in
+      rules p.Gql_xmlgl.Ast.rules)
+
+(* ------------------------------------------------------------------ *)
+(* (d) direct vs. served (cold and cached)                             *)
+(* ------------------------------------------------------------------ *)
+
+type transport = Gql_server.Protocol.request -> Gql_server.Protocol.response
+(** One service request; either a socket round-trip or the in-process
+    [handle_payload] — the corpus replays use the latter so tier-1
+    tests need no sockets. *)
+
+let socket_transport (c : Gql_server.Client.t) : transport =
+  fun req -> Gql_server.Client.request c req
+
+let inproc_transport (s : Gql_server.Server.t) : transport =
+  fun req ->
+    Gql_server.Protocol.parse_response
+      (Gql_server.Server.handle_payload s (Gql_server.Protocol.render_request req))
+
+(** What direct evaluation answers for [source] over [xml]: exactly the
+    body a [RUN] response carries, or a typed error. *)
+let direct_body ~xml ~source : (string, string) result =
+  capture (fun () ->
+      let db = Gql_core.Gql.load_xml_string xml in
+      match Gql_core.Gql.language_of_source source with
+      | `Xmlgl ->
+        Gql_core.Gql.to_xml_string
+          (Gql_core.Gql.run_xmlgl db (Gql_core.Gql.parse_xmlgl source))
+      | `Wglog ->
+        Gql_server.Server.wglog_stats_line
+          (Gql_core.Gql.run_wglog db (Gql_core.Gql.parse_wglog source))
+      | `Unknown -> failwith "query source must start with 'xmlgl' or 'wglog'")
+
+let direct_vs_served (t : transport) ~(doc_name : string) ~(xml : string)
+    ~(source : string) : verdict =
+  let load = t (Gql_server.Protocol.Load { doc = doc_name; xml }) in
+  let direct_db = capture (fun () -> ignore (Gql_core.Gql.load_xml_string xml)) in
+  match load, direct_db with
+  | Gql_server.Protocol.Err _, Error _ -> Pass (* both reject the document *)
+  | Gql_server.Protocol.Err msg, Ok () -> failf "served LOAD rejected: %s" msg
+  | (Gql_server.Protocol.Ok_ _ | Gql_server.Protocol.Timeout _), Error e ->
+    failf "direct load rejected where served LOAD answered: %s" e
+  | Gql_server.Protocol.Timeout _, Ok () -> Fail "LOAD timed out"
+  | Gql_server.Protocol.Ok_ _, Ok () -> (
+    let direct = direct_body ~xml ~source in
+    let run () =
+      t
+        (Gql_server.Protocol.Run
+           { doc = doc_name; query = `Source source; schema = None; deadline_ms = None })
+    in
+    let check_one label (resp : Gql_server.Protocol.response) =
+      match direct, resp with
+      | Ok body, Gql_server.Protocol.Ok_ { body = served; _ } ->
+        if body = served then Pass
+        else failf "%s body differs (%d vs %d bytes)" label (String.length body)
+               (String.length served)
+      | Error _, Gql_server.Protocol.Err _ -> Pass
+      | Ok _, Gql_server.Protocol.Err msg -> failf "%s served ERR: %s" label msg
+      | Error e, Gql_server.Protocol.Ok_ _ ->
+        failf "%s direct raised where served answered: %s" label e
+      | _, Gql_server.Protocol.Timeout _ -> failf "%s timed out" label
+    in
+    match check_one "cold" (run ()) with
+    | Fail _ as f -> f
+    | Pass -> check_one "cached" (run ()))

@@ -9,6 +9,14 @@ exception Error of string
 let parse (src : string) : string Gql_regex.Syntax.t =
   let n = String.length src in
   let pos = ref 0 in
+  (* Column-stamped errors (1-based): fuzz minimization and editors
+     need to tell a *parse* failure at a position apart from an
+     evaluation disagreement. *)
+  let error fmt =
+    Printf.ksprintf
+      (fun s -> raise (Error (Printf.sprintf "%s at column %d" s (!pos + 1))))
+      fmt
+  in
   let peek () = if !pos < n then Some src.[!pos] else None in
   let advance () = incr pos in
   let skip () =
@@ -25,7 +33,7 @@ let parse (src : string) : string Gql_regex.Syntax.t =
     while !pos < n && is_name src.[!pos] do
       advance ()
     done;
-    if !pos = start then raise (Error "expected an edge label");
+    if !pos = start then error "expected an edge label";
     String.sub src start (!pos - start)
   in
   let rec alt () =
@@ -64,20 +72,20 @@ let parse (src : string) : string Gql_regex.Syntax.t =
       skip ();
       (match peek () with
       | Some ')' -> advance ()
-      | _ -> raise (Error "expected ')'"));
+      | _ -> error "expected ')'");
       r
     | Some '.' ->
       advance ();
       (* any label: encoded as the reserved wildcard token *)
       Gql_regex.Syntax.sym "*"
     | Some c when is_name c -> Gql_regex.Syntax.sym (name ())
-    | _ -> raise (Error "expected a label, '(' or '.'")
+    | _ -> error "expected a label, '(' or '.'"
   in
   skip ();
-  if !pos >= n then raise (Error "empty path expression");
+  if !pos >= n then error "empty path expression";
   let r = alt () in
   skip ();
-  if !pos <> n then raise (Error "trailing input in path expression");
+  if !pos <> n then error "trailing input in path expression";
   r
 
 (** Matching of a label symbol against a data label: the reserved ["*"]

@@ -85,15 +85,22 @@ let parse ~schema:tag source : (entry, string) result =
       | exception Gql_core.Gql.Error msg -> Error msg)
     | `Unknown -> Error "query source must start with 'xmlgl' or 'wglog'")
 
-let insert t (e : entry) =
-  if not (Hashtbl.mem t.by_hash e.hash) then begin
+(** Insert under the lock, returning the *canonical* entry for the hash.
+    A hash that is already cached (a concurrent parse of the same
+    source, or a re-[PREPARE]) must NOT be pushed into [fifo] again:
+    a duplicate queue slot makes the hash table look over-capacity
+    later and evicts a live entry prematurely. *)
+let insert t (e : entry) : entry =
+  match Hashtbl.find_opt t.by_hash e.hash with
+  | Some canonical -> canonical
+  | None ->
     Hashtbl.replace t.by_hash e.hash e;
     Queue.push e.hash t.fifo;
     while Hashtbl.length t.by_hash > t.capacity do
       let victim = Queue.pop t.fifo in
       Hashtbl.remove t.by_hash victim
-    done
-  end
+    done;
+    e
 
 (** Parse-or-reuse by source text; [hit] says the parse was skipped. *)
 let intern t ~schema source : (entry * bool, string) result =
@@ -104,7 +111,7 @@ let intern t ~schema source : (entry * bool, string) result =
     match parse ~schema source with
     | Error _ as err -> err
     | Ok e ->
-      locked t (fun () -> insert t e);
+      let e = locked t (fun () -> insert t e) in
       Ok (e, false))
 
 (** [PREPARE name]: intern the source and alias [name] to it. *)

@@ -232,9 +232,20 @@ let handle_payload t (payload : string) : string =
   let response =
     match Protocol.parse_request payload with
     | req -> (
+      (* Everything an evaluator can throw must become a framed ERR: an
+         exception escaping here kills the worker domain serving the
+         connection.  The typed errors keep their messages; anything
+         unexpected is still fenced off by the final catch-all. *)
       try handle_request t req ~started with
       | Gql_core.Gql.Error msg | Failure msg -> Protocol.Err msg
-      | Protocol.Protocol_error msg -> Protocol.Err msg)
+      | Protocol.Protocol_error msg -> Protocol.Err msg
+      | Gql_wglog.Eval.Invalid_query msg
+      | Gql_xmlgl.Construct.Invalid_query msg ->
+        Protocol.Err ("invalid query: " ^ msg)
+      | Gql_xmlgl.Engine.Ill_formed errs ->
+        Protocol.Err ("invalid query: " ^ String.concat "; " errs)
+      | Invalid_argument msg -> Protocol.Err ("invalid request: " ^ msg)
+      | exn -> Protocol.Err ("internal error: " ^ Printexc.to_string exn))
     | exception Protocol.Protocol_error msg -> Protocol.Err msg
   in
   (match response with

@@ -28,6 +28,19 @@ type stats = {
   edges_added : int;
 }
 
+exception Invalid_query of string
+(** The program failed {!Ast.check_program} (or an ill-formed edge
+    survived to compilation).  A typed error rather than
+    [Invalid_argument]/[assert false] so the query service can answer
+    ERROR instead of losing a worker domain. *)
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_query s)) fmt
+
+let check_or_raise (p : Ast.program) =
+  match Ast.check_program p with
+  | [] -> ()
+  | errs -> invalid "%s" (String.concat "; " errs)
+
 let condition_holds (c : Ast.condition) (v : Value.t) =
   match c with
   | Ast.Cmp (op, rhs) -> (
@@ -172,7 +185,11 @@ let compile_query (r : Ast.rule) : compiled_query =
                        de.Graph.kind <> Graph.Attribute
                        && (lbl = "*" || de.Graph.name = lbl))
                      re)
-              | Ast.Collect -> assert false (* collect edges are green *)
+              | Ast.Collect ->
+                (* reachable when an unchecked rule carries a query-role
+                   collect edge (e.g. goal evaluation of a hand-built
+                   AST); check_rule flags it, so refuse loudly here too *)
+                invalid "collect edge %d->%d must be green" e.e_src e.e_dst
             in
             Some (src, c, dst))
       r.Ast.edges
@@ -537,8 +554,7 @@ let delta_seeds (data : Graph.t) (cq : compiled_query) ~(last_gen : int) :
     in a round share one build. *)
 let run ?(strategy = `Semi_naive) ?(use_index = true) ?(max_rounds = 1000)
     (data : Graph.t) (p : Ast.program) : stats =
-  let errs = Ast.check_program p in
-  if errs <> [] then invalid_arg (String.concat "; " errs);
+  check_or_raise p;
   let compiled = List.map (fun r -> (r, compile_query r)) p.Ast.rules in
   let skolems : skolem_table = Hashtbl.create 64 in
   let icache = Index.cache () in
@@ -598,7 +614,10 @@ let run ?(strategy = `Semi_naive) ?(use_index = true) ?(max_rounds = 1000)
   }
 
 (** Evaluate a goal (pure query rule): return its embeddings without
-    touching the database. *)
+    touching the database.  Ill-formed rules raise {!Invalid_query}. *)
 let goal ?index (data : Graph.t) (r : Ast.rule) : int array list =
+  (match Ast.check_rule r with
+  | [] -> ()
+  | errs -> invalid "%s" (String.concat "; " errs));
   let cq = compile_query r in
   query_embeddings ?index data r cq

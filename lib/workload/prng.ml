@@ -15,10 +15,25 @@ let next_int64 t =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(** Uniform int in [0, bound). *)
+(** Uniform int in [0, bound).
+
+    Rejection sampling over 62-bit draws: a plain [Int64.rem] of the
+    raw state is biased towards small residues whenever [bound] does
+    not divide the draw range (up to ~2^-62 per value, but measurable
+    for large bounds).  Draws in the tail [lim, 2^62) are redrawn so
+    every residue class is equally likely.  Note this consumes a
+    variable number of raw draws, so streams differ from the pre-fix
+    generator even when no rejection occurs (62- vs 63-bit window). *)
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int";
-  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))
+  let b = Int64.of_int bound in
+  let range = 0x4000_0000_0000_0000L (* 2^62: keeps every value positive *) in
+  let lim = Int64.sub range (Int64.rem range b) in
+  let rec draw () =
+    let r = Int64.shift_right_logical (next_int64 t) 2 in
+    if r >= lim then draw () else Int64.to_int (Int64.rem r b)
+  in
+  draw ()
 
 let float t =
   Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)

@@ -21,6 +21,12 @@
 
 open Gql_data
 
+exception Invalid_query of string
+(** A construction graph reached evaluation in a shape the static checks
+    should have refused (e.g. an aggregate function applied where it
+    cannot be computed).  Raised instead of [assert false] so a server
+    worker answers ERROR rather than dying. *)
+
 type context = Matching.binding list
 
 let distinct_bindings (ctx : context) (source : int) : (int * context) list =
@@ -82,7 +88,11 @@ let aggregate_value (data : Graph.t) (ctx : context) fn source : Value.t option 
         Some
           (Value.float
              (List.fold_left ( +. ) first rest /. float_of_int (List.length nums)))
-      | Ast.Count -> assert false))
+      | Ast.Count ->
+        (* unreachable: the outer match returns Count before the numeric
+           branch — but a typed error beats a fatal assert if the
+           dispatch ever drifts *)
+        raise (Invalid_query "count aggregate reached the numeric fold")))
 
 type compiled_cons = {
   cons : Ast.construction;

@@ -174,7 +174,7 @@ let rec eval (ctx : context) (e : Ast.expr) : value =
         | Ast.Mul -> x *. y
         | Ast.Div -> x /. y
         | Ast.Mod -> Float.rem x y
-        | _ -> assert false))
+        | _ -> err "non-arithmetic operator in arithmetic position"))
 
 and eval_comparison ctx op a b =
   (* XPath comparison: node-sets compare existentially. *)
@@ -186,7 +186,7 @@ and eval_comparison ctx op a b =
     | Ast.Le -> x <= y
     | Ast.Gt -> x > y
     | Ast.Ge -> x >= y
-    | _ -> assert false
+    | _ -> err "non-comparison operator in comparison position"
   in
   let num_cmp x y = cmp_atom op (compare x y) (compare 0. 0.) in
   ignore num_cmp;
@@ -218,7 +218,7 @@ and eval_comparison ctx op a b =
             | Some xf, Ast.Neq -> xf <> f
             | None, Ast.Eq -> false
             | None, Ast.Neq -> true
-            | _ -> assert false)
+            | _ -> err "equality dispatch reached a non-equality operator")
           | _ -> cmp_atom op sv o)
         | _, (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) ->
           let xf =
@@ -233,7 +233,7 @@ and eval_comparison ctx op a b =
           | Ast.Le -> x <= y
           | Ast.Gt -> x > y
           | Ast.Ge -> x >= y
-          | _ -> assert false)
+          | _ -> err "relational dispatch reached a non-relational operator")
         | _ -> false)
       xs
   | _ -> (

@@ -56,6 +56,28 @@ let test_label_re_errors () =
   check "unclosed" true (bad "(link");
   check "trailing" true (bad "link )")
 
+let test_label_re_error_columns () =
+  (* parse errors carry the 1-based failing column, so a fuzz repro or
+     an editor can point at the offending character *)
+  let column_of s =
+    match Gql_lang.Label_re.parse s with
+    | _ -> None
+    | exception Gql_lang.Label_re.Error msg -> (
+      match String.rindex_opt msg ' ' with
+      | Some i ->
+        int_of_string_opt (String.sub msg (i + 1) (String.length msg - i - 1))
+      | None -> None)
+  in
+  let check_col s expected =
+    match column_of s with
+    | Some col -> Alcotest.(check int) (Printf.sprintf "column in %S" s) expected col
+    | None -> Alcotest.failf "no column reported for %S" s
+  in
+  check_col "link )" 6;        (* trailing input after the expression *)
+  check_col "(link" 6;         (* unclosed group: ')' expected at end *)
+  check_col "*link" 1;         (* postfix star with no atom before it *)
+  check_col "" 1               (* empty expression fails at column 1 *)
+
 let test_label_re_roundtrip () =
   List.iter
     (fun s ->
@@ -253,6 +275,7 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_label_re;
           Alcotest.test_case "errors" `Quick test_label_re_errors;
+          Alcotest.test_case "error columns" `Quick test_label_re_error_columns;
           Alcotest.test_case "roundtrip" `Quick test_label_re_roundtrip;
         ] );
       ( "xmlgl",

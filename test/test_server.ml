@@ -177,6 +177,34 @@ let test_qcache () =
     | Error _ -> true
     | Ok _ -> false)
 
+let test_qcache_reprepare_no_double_enqueue () =
+  (* FIFO accounting: re-PREPAREing text the cache already holds must
+     not enqueue its hash again — with capacity 3, preparing the same
+     source capacity+1 times may evict nothing, and the other resident
+     entries must still hit afterwards *)
+  let capacity = 3 in
+  let c = Qcache.create ~capacity () in
+  let resident = [ Gql_workload.Queries.q2_src; Gql_workload.Queries.q3_src ] in
+  List.iter
+    (fun src ->
+      match Qcache.intern c ~schema:None src with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+    resident;
+  for i = 1 to capacity + 1 do
+    match Qcache.prepare c ~name:"q1" ~schema:None Gql_workload.Queries.q1_src with
+    | Ok (_, hit) -> check_bool "only the first prepare misses" (i > 1) hit
+    | Error m -> Alcotest.fail m
+  done;
+  check_int "fifo holds one slot per distinct parse" 3
+    (Queue.length c.Qcache.fifo);
+  List.iter
+    (fun src ->
+      match Qcache.intern c ~schema:None src with
+      | Ok (_, hit) -> check_bool "resident entry was not evicted" true hit
+      | Error m -> Alcotest.fail m)
+    resident
+
 (* --- in-process byte identity ------------------------------------------- *)
 
 let test_inprocess_byte_identity () =
@@ -199,6 +227,55 @@ let test_inprocess_byte_identity () =
               (contains ~needle:" cached" info)
           | r -> Alcotest.failf "%s: %s" q.sq_name (Protocol.render_response r))
         Gql_workload.Queries.server_suite)
+
+let test_malformed_programs_yield_err () =
+  (* programs that parse but fail the semantic checks used to raise
+     straight through handle_payload (killing the worker domain serving
+     the connection); they must come back as framed ERRs, and the
+     server must keep answering afterwards *)
+  let server = new_server ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let send req =
+        Protocol.parse_response
+          (Server.handle_payload server (Protocol.render_request req))
+      in
+      let run source =
+        send
+          (Protocol.Run
+             { doc = "people"; query = `Source source; schema = None;
+               deadline_ms = None })
+      in
+      let rootless =
+        "xmlgl\nresult result\nrule\nquery\n  node $q0 elem PERSON\n\
+         construct\n  node c0 new out\nend\n"
+      in
+      let cyclic =
+        "xmlgl\nresult result\nrule\nquery\n  node $q0 elem PERSON\n\
+         construct\n  node c0 new out\n  node c1 new inner\n  root c0\n\
+         \  edge c0 c1\n  edge c1 c0\nend\n"
+      in
+      let collect_query_edge =
+        "wglog\nrule\n  node n0 PERSON\n  cnode n1 derived\n\
+         \  edge n0 id n1\nend\n"
+      in
+      List.iter
+        (fun (name, src) ->
+          match run src with
+          | Protocol.Err msg ->
+            check_bool (name ^ " reports a typed invalid-query error") true
+              (contains ~needle:"invalid query" msg)
+          | r ->
+            Alcotest.failf "%s: expected ERR, got %s" name
+              (Protocol.render_response r))
+        [ ("rootless construction", rootless); ("cyclic construction", cyclic);
+          ("collect query edge", collect_query_edge) ];
+      match send Protocol.Ping with
+      | Protocol.Ok_ _ -> ()
+      | r ->
+        Alcotest.failf "server stopped answering: %s"
+          (Protocol.render_response r))
 
 (* --- socket byte identity ----------------------------------------------- *)
 
@@ -454,6 +531,8 @@ let () =
           Alcotest.test_case "result-cache LRU" `Quick test_rcache_lru;
           Alcotest.test_case "result-cache versioning" `Quick test_rcache_version_isolation;
           Alcotest.test_case "prepared-query cache" `Quick test_qcache;
+          Alcotest.test_case "re-prepare FIFO accounting" `Quick
+            test_qcache_reprepare_no_double_enqueue;
           Alcotest.test_case "frame roundtrip" `Quick test_framing_roundtrip;
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
         ] );
@@ -469,6 +548,8 @@ let () =
         [
           Alcotest.test_case "stats, metrics, errors, deadline" `Quick
             test_stats_metrics_errors;
+          Alcotest.test_case "malformed programs yield ERR" `Quick
+            test_malformed_programs_yield_err;
           Alcotest.test_case "8 clients x 4 domains determinism" `Quick
             test_concurrent_determinism;
         ] );

@@ -319,8 +319,22 @@ let test_invalid_program_rejected () =
   let p = { Ast.schema = None; rules = [ Ast.Build.finish b ] } in
   let g = chain_graph 2 in
   match Eval.run g p with
-  | _ -> Alcotest.fail "expected invalid_arg"
-  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_query"
+  | exception Eval.Invalid_query _ -> ()
+
+let test_goal_rejects_collect_query_edge () =
+  (* a Collect-mode edge between two query nodes is exactly the shape
+     that used to reach the `assert false` in the edge compiler; goal
+     now front-runs it with the static check and the typed error *)
+  let b = Ast.Build.create () in
+  let n0 = Ast.Build.entity b "Document" in
+  let n1 = Ast.Build.entity b "Document" in
+  Ast.Build.edge b ~mode:Ast.Collect ~label:"member" n0 n1;
+  let r = Ast.Build.finish b in
+  let g = chain_graph 2 in
+  match Eval.goal g r with
+  | _ -> Alcotest.fail "expected Invalid_query"
+  | exception Eval.Invalid_query _ -> ()
 
 let test_negated_edge_semantics () =
   (* pairwise negation: both endpoints anchored by slot edges *)
@@ -404,5 +418,7 @@ let () =
           Alcotest.test_case "skolem per binding" `Quick test_skolem_per_binding;
           Alcotest.test_case "max rounds guard" `Quick test_max_rounds_guard;
           Alcotest.test_case "invalid rejected" `Quick test_invalid_program_rejected;
+          Alcotest.test_case "collect edge rejected" `Quick
+            test_goal_rejects_collect_query_edge;
         ] );
     ]

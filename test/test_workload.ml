@@ -25,6 +25,38 @@ let test_prng_ranges () =
     check "float in range" true (f >= 0.0 && f < 1.0)
   done
 
+let test_prng_unbiased () =
+  (* rejection sampling: for a bound that divides no power of two,
+     every residue must appear at close to the same frequency.  With
+     the old truncating modulo a bound this close to a divisor of the
+     62-bit range would skew low residues measurably. *)
+  let r = Gql_workload.Prng.create 42 in
+  let bound = 3 in
+  let n = 30_000 in
+  let counts = Array.make bound 0 in
+  for _ = 1 to n do
+    let v = Gql_workload.Prng.int r bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int n /. float_of_int bound in
+  Array.iteri
+    (fun i c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      check (Printf.sprintf "residue %d within 5%%" i) true (dev < 0.05))
+    counts;
+  (* degenerate and invalid bounds *)
+  check_int "bound 1 is constant" 0 (Gql_workload.Prng.int r 1);
+  check "bound 0 rejected" true
+    (match Gql_workload.Prng.int r 0 with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  (* large bounds stay in range (the 62-bit window never goes negative) *)
+  let big = max_int / 2 in
+  for _ = 1 to 100 do
+    let v = Gql_workload.Prng.int r big in
+    check "large bound in range" true (v >= 0 && v < big)
+  done
+
 let test_prng_shuffle () =
   let r = Gql_workload.Prng.create 2 in
   let arr = [| 1; 2; 3; 4; 5; 6 |] in
@@ -152,6 +184,7 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "unbiased" `Quick test_prng_unbiased;
           Alcotest.test_case "shuffle" `Quick test_prng_shuffle;
         ] );
       ( "generators",

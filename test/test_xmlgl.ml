@@ -444,6 +444,25 @@ end
     | _ -> Alcotest.fail "expected count 0 and no sum node")
   | _ -> Alcotest.fail "one summary expected"
 
+let test_aggregate_count_dispatch () =
+  (* Count is answered by the outer aggregate dispatch; the numeric fold
+     it must never reach now guards itself with the typed
+     Construct.Invalid_query instead of an assert.  Count therefore
+     works even when no source value is numeric — and Sum over the same
+     bindings is undefined (None), not an error. *)
+  let b = Ast.Build.create () in
+  let p = Ast.Build.q_elem b "PERSON" in
+  let n = Ast.Build.q_elem b "firstname" in
+  Ast.Build.qedge b p n;
+  let q = (Ast.Build.finish b).Ast.query in
+  let ctx = Matching.run people q in
+  (match Construct.aggregate_value people ctx Ast.Count n with
+  | Some v ->
+    check_str "count over non-numeric source" "3" (Gql_data.Value.to_string v)
+  | None -> Alcotest.fail "count must always be defined");
+  check "sum over non-numeric source is None" true
+    (Construct.aggregate_value people ctx Ast.Sum n = None)
+
 let test_aggregate_grouped () =
   (* aggregates respect group narrowing: persons per city *)
   let src = {|xmlgl
@@ -656,6 +675,8 @@ let () =
           Alcotest.test_case "aggregates" `Quick test_aggregates;
           Alcotest.test_case "aggregate empty" `Quick test_aggregate_empty;
           Alcotest.test_case "aggregate grouped" `Quick test_aggregate_grouped;
+          Alcotest.test_case "aggregate count dispatch" `Quick
+            test_aggregate_count_dispatch;
         ] );
       ( "checks",
         [

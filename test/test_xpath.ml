@@ -184,6 +184,33 @@ let test_eval_errors () =
   check "unknown function" true (bad "frobnicate(1)");
   check "count of number" true (bad "count(1)")
 
+(* --- operator dispatch boundaries ----------------------------------------
+   Evaluation splits the binary operators across three folds (arithmetic,
+   equality, relational); an operator routed to the wrong fold raises the
+   typed Eval_error instead of tripping an assert.  These pin down the full
+   matrix of reachable combinations around those guards. *)
+
+let test_dispatch_arithmetic () =
+  check_str "mod" "2" (value "5 mod 3");
+  check_str "mod sign follows dividend" "-2" (value "-5 mod 3");
+  check_str "div" "2.5" (value "5 div 2");
+  check_str "mixed precedence" "7" (value "1 + 2 * 3")
+
+let test_dispatch_equality_mixed () =
+  (* node-set vs number: each node's string value is coerced, and only
+     Eq/Neq may reach this arm of the dispatch *)
+  check_str "nodeset = number" "true" (value "//price = 55");
+  check_str "nodeset != number" "true" (value "//price != 55");
+  check_str "non-numeric text never equals" "false" (value "//title = 55");
+  check_str "non-numeric text always differs" "true" (value "//title != 55")
+
+let test_dispatch_relational_mixed () =
+  (* node-set vs number relational: only Lt/Le/Gt/Ge may reach here *)
+  check_str "some price below" "true" (value "//price < 13");
+  check_str "some price above" "true" (value "//price > 50");
+  check_str "none below" "false" (value "//price < 12");
+  check_str "boundary inclusive" "true" (value "//price <= 12")
+
 let () =
   Alcotest.run "gql_xpath"
     [
@@ -218,5 +245,12 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           Alcotest.test_case "pp agreement" `Quick test_pp_roundtrip;
           Alcotest.test_case "eval errors" `Quick test_eval_errors;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_dispatch_arithmetic;
+          Alcotest.test_case "equality mixed" `Quick test_dispatch_equality_mixed;
+          Alcotest.test_case "relational mixed" `Quick
+            test_dispatch_relational_mixed;
         ] );
     ]
