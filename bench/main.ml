@@ -682,6 +682,107 @@ let e12 () =
       ("timeouts", J_int (mi "timeouts")) ]
 
 (* ------------------------------------------------------------------ *)
+(* E13 — domain-parallel scaling                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything observable about a graph, in deterministic order — used
+   to assert that a parallel fixpoint produced byte-for-byte the same
+   derived graph as the sequential one. *)
+let graph_digest (data : Gql_data.Graph.t) =
+  let nodes =
+    List.rev
+      (Gql_graph.Digraph.fold_nodes
+         (fun acc i kind -> (i, kind) :: acc)
+         [] data.Gql_data.Graph.g)
+  in
+  let edges = ref [] in
+  Gql_graph.Digraph.iter_edges
+    (fun ~src ~dst (e : Gql_data.Graph.edge) -> edges := (src, dst, e) :: !edges)
+    data.Gql_data.Graph.g;
+  Digest.string (Marshal.to_string (nodes, List.rev !edges) [])
+
+let e13 () =
+  header "E13  domain-parallel scaling: 1/2/4/8 domains, byte-identical results";
+  row "(host reports %d recommended domain(s); speedups above 1 core are\n\
+      \ not expected there — the table records honest wall clock plus the\n\
+      \ byte-identity check on every run)\n"
+    (Domain.recommended_domain_count ());
+  (* One workload per experiment class: E1's restaurant fixpoint, E5's
+     index+ closure, E7's XML-GL join.  Each parallel run must produce
+     exactly the sequential answer; [timed] re-runs the closure, so the
+     identity check fires on every recorded repetition. *)
+  let e1_base =
+    Gql_workload.Gen.restaurants ~seed:(seed 71) ~menu_fraction:0.6 1000
+  in
+  let e1_prog =
+    Gql_lang.Wglog_text.parse_program ~schema:Gql_wglog.Schema.restaurant_schema
+      Gql_workload.Queries.q10_src
+  in
+  let e5_base =
+    Gql_workload.Gen.hyperdocs ~seed:(seed 72) ~fanout:3 ~link_factor:1 400
+  in
+  let e5_prog =
+    Gql_lang.Wglog_text.parse_program ~schema:Gql_wglog.Schema.hyperdoc_schema
+      Gql_workload.Queries.q12_src
+  in
+  let e7_graph =
+    fst (Gql_data.Codec.encode (Gql_workload.Gen.greengrocer ~seed:(seed 73) 1600))
+  in
+  let e7_query =
+    (List.hd (Gql_core.Gql.parse_xmlgl Gql_workload.Queries.q4_src).Gql_xmlgl.Ast.rules)
+      .Gql_xmlgl.Ast.query
+  in
+  let fixpoint base prog domains () =
+    let g = Gql_data.Graph.copy base in
+    let stats = Gql_wglog.Eval.run ~domains g prog in
+    Digest.string
+      (Marshal.to_string
+         ( stats.Gql_wglog.Eval.rounds,
+           stats.Gql_wglog.Eval.embeddings_found,
+           stats.Gql_wglog.Eval.nodes_added,
+           stats.Gql_wglog.Eval.edges_added )
+         [])
+    ^ graph_digest g
+  in
+  let join domains () =
+    Digest.string
+      (Marshal.to_string (Gql_xmlgl.Matching.run ~domains e7_graph e7_query) [])
+  in
+  let workloads =
+    [ ("e1/q10-restaurants", fixpoint e1_base e1_prog);
+      ("e5/q12-hyperdocs", fixpoint e5_base e5_prog);
+      ("e7/q4-join", join) ]
+  in
+  row "%-20s  %8s  %10s  %10s  %10s  %9s\n" "workload" "domains" "median_ms"
+    "min_ms" "identical" "speedup";
+  List.iter
+    (fun (name, run) ->
+      let baseline = ref None in
+      List.iter
+        (fun domains ->
+          let tm, digest = timed (fun () -> run domains ()) in
+          let seq_digest, seq_ms =
+            match !baseline with
+            | None ->
+              baseline := Some (digest, tm.median_ms);
+              (digest, tm.median_ms)
+            | Some b -> b
+          in
+          if digest <> seq_digest then
+            failwith
+              (Printf.sprintf "E13 %s: %d-domain result differs from sequential"
+                 name domains);
+          let speedup = seq_ms /. tm.median_ms in
+          record ~experiment:"e13"
+            ([ ("workload", J_str name); ("domains", J_int domains);
+               ("identical", J_bool true); ("speedup", J_num speedup) ]
+            @ j_timing tm);
+          row "%-20s  %8d  %10.2f  %10.2f  %10s  %8.2fx\n" name domains
+            tm.median_ms tm.min_ms "yes" speedup)
+        [ 1; 2; 4; 8 ])
+    workloads
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -734,7 +835,7 @@ let micro () =
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12) ]
+    ("e12", e12); ("e13", e13) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -745,6 +846,13 @@ let () =
       (match int_of_string_opt n with
       | Some s -> seed_base := s
       | None -> Printf.eprintf "bad --seed %s (integer expected)\n" n);
+      strip rest
+    | "--domains" :: n :: rest ->
+      (* default domain count for every evaluation in the run; E13
+         still sweeps its own explicit 1/2/4/8 regardless *)
+      (match int_of_string_opt n with
+      | Some d -> Gql_graph.Par.set_default d
+      | None -> Printf.eprintf "bad --domains %s (integer expected)\n" n);
       strip rest
     | "--json" :: rest -> strip rest
     | a :: rest -> a :: strip rest
@@ -759,6 +867,6 @@ let () =
       (fun name ->
         match List.assoc_opt (String.lowercase_ascii name) all with
         | Some f -> f ()
-        | None -> Printf.eprintf "unknown experiment %s (e1..e12, micro)\n" name)
+        | None -> Printf.eprintf "unknown experiment %s (e1..e13, micro)\n" name)
       names);
-  if json then write_json "BENCH_PR2.json"
+  if json then write_json "BENCH_PR4.json"

@@ -62,8 +62,16 @@ let wrap f =
 (* --- run ----------------------------------------------------------------- *)
 
 let run_cmd =
-  let action data query out =
+  let domains_arg =
+    let doc =
+      "Evaluate on $(docv) OCaml domains (results are byte-identical to \
+       sequential evaluation; overrides \\$GQL_DOMAINS)."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let action data query out domains =
     wrap (fun () ->
+        Option.iter Gql_graph.Par.set_default domains;
         let source = read_file query in
         match language_of source with
         | `Xmlgl ->
@@ -94,7 +102,7 @@ let run_cmd =
         | `Unknown -> failwith "query file must start with 'xmlgl' or 'wglog'")
   in
   let info = Cmd.info "run" ~doc:"Evaluate a graphical query against a database." in
-  Cmd.v info Term.(const action $ data_arg $ query_arg $ out_arg)
+  Cmd.v info Term.(const action $ data_arg $ query_arg $ out_arg $ domains_arg)
 
 (* --- validate ------------------------------------------------------------- *)
 
@@ -277,7 +285,16 @@ let serve_cmd =
     in
     Arg.(value & opt_all file [] & info [ "d"; "data" ] ~docv:"FILE" ~doc)
   in
-  let action socket port host workers deadline rcache preload =
+  let run_domains_arg =
+    let doc =
+      "Domains per RUN evaluation.  Default: auto — a single large RUN \
+       borrows the capacity idle workers leave unused, and a burst of \
+       clients degrades to one domain per request instead of \
+       oversubscribing the machine."
+    in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let action socket port host workers deadline rcache run_domains preload =
     wrap (fun () ->
         if socket = None && port = None then
           failwith "serve needs --socket PATH and/or --port PORT";
@@ -287,6 +304,7 @@ let serve_cmd =
             workers;
             default_deadline_ms = deadline;
             result_cache = rcache;
+            run_domains;
           }
         in
         let server = Gql_server.Server.create ~config () in
@@ -332,7 +350,7 @@ let serve_cmd =
   Cmd.v info
     Term.(
       const action $ socket_arg $ port_arg $ host_arg $ workers_arg
-      $ deadline_arg $ rcache_arg $ preload_arg)
+      $ deadline_arg $ rcache_arg $ run_domains_arg $ preload_arg)
 
 (* --- fuzz ------------------------------------------------------------------ *)
 
@@ -350,8 +368,8 @@ let fuzz_cmd =
   in
   let oracle_arg =
     let doc =
-      "Oracle to run: scan-vs-index, digraph-vs-csr, engine-vs-algebra or \
-       direct-vs-served.  Repeatable; default is all four."
+      "Oracle to run: scan-vs-index, digraph-vs-csr, engine-vs-algebra, \
+       direct-vs-served or seq-vs-par.  Repeatable; default is all five."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
   in

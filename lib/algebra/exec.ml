@@ -38,11 +38,19 @@ let expand_candidates (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_con
   | Gql_graph.Homo.Negated _, _ -> invalid_arg "cannot expand a negated edge"
 
 let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option)
-    (data : Graph.t)
+    ?domains (data : Graph.t)
     (pattern : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern)
     (plan : Plan.t) : binding list =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Gql_graph.Par.default_domains ()
+  in
   let k = Array.length pattern.Gql_graph.Homo.p_nodes in
   let node_pred v n = pattern.Gql_graph.Homo.p_nodes.(v) n (Graph.kind data n) in
+  (* The scan and expand leaves fan out over domains ({!Gql_graph.Par}):
+     chunked over the candidate range / input bindings, merged back in
+     order, so plan output is byte-identical to sequential execution. *)
   let rec eval (p : Plan.t) : binding list =
     match p with
     | Plan.Scan { var; _ } -> (
@@ -54,27 +62,33 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
       match indexed with
       | Some cands ->
         (* index candidates are sorted ascending, like the scan below *)
-        List.filter_map
-          (fun n ->
-            if node_pred var n then begin
-              let b = Array.make k (-1) in
-              b.(var) <- n;
-              Some b
-            end
-            else None)
-          cands
+        let arr = Array.of_list cands in
+        Gql_graph.Par.map_chunks ~domains ~n:(Array.length arr) (fun lo hi ->
+            let out = ref [] in
+            for i = hi - 1 downto lo do
+              let n = arr.(i) in
+              if node_pred var n then begin
+                let b = Array.make k (-1) in
+                b.(var) <- n;
+                out := b :: !out
+              end
+            done;
+            !out)
+        |> List.concat
       | None ->
-        let out = ref [] in
-        for n = Graph.n_nodes data - 1 downto 0 do
-          if node_pred var n then begin
-            let b = Array.make k (-1) in
-            b.(var) <- n;
-            out := b :: !out
-          end
-        done;
-        !out)
+        Gql_graph.Par.map_chunks ~domains ~n:(Graph.n_nodes data) (fun lo hi ->
+            let out = ref [] in
+            for n = hi - 1 downto lo do
+              if node_pred var n then begin
+                let b = Array.make k (-1) in
+                b.(var) <- n;
+                out := b :: !out
+              end
+            done;
+            !out)
+        |> List.concat)
     | Plan.Expand { input; src; dst; dir; cons; _ } ->
-      List.concat_map
+      Gql_graph.Par.concat_map_chunks ~domains
         (fun b ->
           let from = b.(src) in
           if from < 0 then []
@@ -111,15 +125,15 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
 (** End-to-end: compile an XML-GL query, plan it, execute, and return
     bindings restricted to the query's own nodes (the same shape
     [Gql_xmlgl.Matching.run] returns, so results are comparable). *)
-let run_xmlgl ?strategy ?index (data : Graph.t) (q : Gql_xmlgl.Ast.query) :
-    int array list =
+let run_xmlgl ?strategy ?index ?domains (data : Graph.t)
+    (q : Gql_xmlgl.Ast.query) : int array list =
   let compiled = Gql_xmlgl.Matching.compile data q in
   let job = Planner.job_of_xmlgl ?index compiled in
   let plan = Planner.build ?strategy data job in
   List.map
     (Gql_xmlgl.Matching.to_query_binding compiled)
-    (run ?provider:job.Planner.provider data compiled.Gql_xmlgl.Matching.pattern
-       plan)
+    (run ?provider:job.Planner.provider ?domains data
+       compiled.Gql_xmlgl.Matching.pattern plan)
 
 (** The plan text for an XML-GL query — EXPLAIN. *)
 let explain_xmlgl ?strategy ?index (data : Graph.t) (q : Gql_xmlgl.Ast.query) :

@@ -103,11 +103,12 @@ let parse_xmlgl (src : string) : Gql_xmlgl.Ast.program =
 let index (db : db) : Gql_data.Index.t =
   Gql_data.Index.refresh db.gindex db.graph
 
-let run_xmlgl (db : db) (p : Gql_xmlgl.Ast.program) : Gql_xml.Tree.element =
-  Gql_xmlgl.Engine.run_program ~index:(index db) db.graph p
+let run_xmlgl ?domains (db : db) (p : Gql_xmlgl.Ast.program) :
+    Gql_xml.Tree.element =
+  Gql_xmlgl.Engine.run_program ~index:(index db) ?domains db.graph p
 
-let run_xmlgl_text (db : db) (src : string) : Gql_xml.Tree.element =
-  run_xmlgl db (parse_xmlgl src)
+let run_xmlgl_text ?domains (db : db) (src : string) : Gql_xml.Tree.element =
+  run_xmlgl ?domains db (parse_xmlgl src)
 
 (** Bindings of the first rule's query part (inspection / testing). *)
 let xmlgl_bindings (db : db) (p : Gql_xmlgl.Ast.program) =
@@ -136,13 +137,13 @@ let parse_wglog ?schema (src : string) : Gql_wglog.Ast.program =
 
 (** Run a WG-Log program to fixpoint (mutates the database graph, as the
     deductive semantics prescribes). *)
-let run_wglog ?strategy (db : db) (p : Gql_wglog.Ast.program) :
+let run_wglog ?strategy ?domains (db : db) (p : Gql_wglog.Ast.program) :
     Gql_wglog.Eval.stats =
-  Gql_wglog.Eval.run ?strategy db.graph p
+  Gql_wglog.Eval.run ?strategy ?domains db.graph p
 
-let run_wglog_text ?schema ?strategy (db : db) (src : string) :
+let run_wglog_text ?schema ?strategy ?domains (db : db) (src : string) :
     Gql_wglog.Eval.stats =
-  run_wglog ?strategy db (parse_wglog ?schema src)
+  run_wglog ?strategy ?domains db (parse_wglog ?schema src)
 
 let wglog_goal (db : db) (r : Gql_wglog.Ast.rule) =
   Gql_wglog.Eval.goal ~index:(index db) db.graph r

@@ -58,11 +58,13 @@ val parse_xmlgl : string -> Gql_xmlgl.Ast.program
 (** Parse the textual syntax (see [lib/lang/xmlgl_text.ml] for the
     grammar).  @raise Error with position information on bad input. *)
 
-val run_xmlgl : db -> Gql_xmlgl.Ast.program -> Gql_xml.Tree.element
+val run_xmlgl : ?domains:int -> db -> Gql_xmlgl.Ast.program -> Gql_xml.Tree.element
 (** Evaluate a program: every rule's matches are constructed and the
-    results collected under the program's result root. *)
+    results collected under the program's result root.  [domains] fans
+    the embedding search out over OCaml domains with byte-identical
+    results (default {!Gql_graph.Par.default_domains}). *)
 
-val run_xmlgl_text : db -> string -> Gql_xml.Tree.element
+val run_xmlgl_text : ?domains:int -> db -> string -> Gql_xml.Tree.element
 
 val xmlgl_bindings :
   db -> Gql_xmlgl.Ast.program -> Gql_xmlgl.Matching.binding list
@@ -78,15 +80,18 @@ val parse_wglog : ?schema:Gql_wglog.Schema.t -> string -> Gql_wglog.Ast.program
 
 val run_wglog :
   ?strategy:[ `Naive | `Semi_naive ] ->
+  ?domains:int ->
   db ->
   Gql_wglog.Ast.program ->
   Gql_wglog.Eval.stats
 (** Run a program to its deductive fixpoint.  Mutates [db.graph], as the
-    semantics prescribe; idempotent across runs. *)
+    semantics prescribe; idempotent across runs.  [domains] parallelises
+    the matching side of each round; construction stays sequential. *)
 
 val run_wglog_text :
   ?schema:Gql_wglog.Schema.t ->
   ?strategy:[ `Naive | `Semi_naive ] ->
+  ?domains:int ->
   db ->
   string ->
   Gql_wglog.Eval.stats

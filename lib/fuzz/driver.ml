@@ -100,6 +100,12 @@ let checks_for ~(transport : Oracle.transport option)
                     Oracle.direct_vs_served t ~doc_name:(fresh_doc ()) ~xml
                       ~source) })
             [ c.Casegen.xmlgl_src; c.Casegen.wglog_src ])
+      | Oracle.Seq_vs_par ->
+        List.map
+          (fun source ->
+            { oracle; xml = c.Casegen.xml; source; parses = prog_parses;
+              rerun = (fun ~xml ~source -> Oracle.seq_vs_par ~xml ~source) })
+          [ c.Casegen.xmlgl_src; c.Casegen.wglog_src ]
       )
     oracles
 
@@ -190,6 +196,8 @@ let replay (r : Corpus.repro) : Oracle.verdict =
   | Some Oracle.Digraph_vs_csr ->
     guard (fun () ->
         Oracle.digraph_vs_csr ~graph_seed:r.graph_seed ~regex_src:r.source)
+  | Some Oracle.Seq_vs_par ->
+    guard (fun () -> Oracle.seq_vs_par ~xml:r.xml ~source:r.source)
   | Some Oracle.Direct_vs_served ->
     let config = { Server.default_config with workers = Some 1 } in
     let server = Server.create ~config () in

@@ -1,4 +1,4 @@
-(** The four differential oracles.
+(** The five differential oracles.
 
     Each oracle evaluates the same question along two redundant paths
     that share as little code as possible and demands byte-identical
@@ -12,28 +12,40 @@
       planner/executor under both join strategies (compared as sorted
       binding sets — plan order is not part of the contract);
     - {!direct_vs_served}: in-process evaluation vs. a [gql serve]
-      round-trip, cold and cached.
+      round-trip, cold and cached;
+    - {!seq_vs_par}: 1-domain vs. N-domain evaluation — bindings, goal
+      embeddings, fixpoint statistics and the derived graph must all be
+      byte-identical (the determinism guarantee of [Gql_graph.Par]).
 
     Any disagreement — including one side raising where the other
     answers — is a {!Fail}; uncaught exceptions are converted to
     failures by the driver.  Every oracle takes plain strings so the
     shrinker can re-run it on candidate inputs. *)
 
-type name = Scan_vs_index | Digraph_vs_csr | Engine_vs_algebra | Direct_vs_served
+type name =
+  | Scan_vs_index
+  | Digraph_vs_csr
+  | Engine_vs_algebra
+  | Direct_vs_served
+  | Seq_vs_par
 
-let all = [ Scan_vs_index; Digraph_vs_csr; Engine_vs_algebra; Direct_vs_served ]
+let all =
+  [ Scan_vs_index; Digraph_vs_csr; Engine_vs_algebra; Direct_vs_served;
+    Seq_vs_par ]
 
 let to_string = function
   | Scan_vs_index -> "scan-vs-index"
   | Digraph_vs_csr -> "digraph-vs-csr"
   | Engine_vs_algebra -> "engine-vs-algebra"
   | Direct_vs_served -> "direct-vs-served"
+  | Seq_vs_par -> "seq-vs-par"
 
 let of_string = function
   | "scan-vs-index" -> Some Scan_vs_index
   | "digraph-vs-csr" -> Some Digraph_vs_csr
   | "engine-vs-algebra" -> Some Engine_vs_algebra
   | "direct-vs-served" -> Some Direct_vs_served
+  | "seq-vs-par" -> Some Seq_vs_par
   | _ -> None
 
 type verdict = Pass | Fail of string
@@ -249,3 +261,84 @@ let direct_vs_served (t : transport) ~(doc_name : string) ~(xml : string)
     match check_one "cold" (run ()) with
     | Fail _ as f -> f
     | Pass -> check_one "cached" (run ()))
+
+(* ------------------------------------------------------------------ *)
+(* (e) sequential vs. domain-parallel evaluation                       *)
+(* ------------------------------------------------------------------ *)
+
+let par_domains = 3
+(* enough to exercise spawning, chunk hand-off and ordered merge even
+   on a small machine; the answer must not depend on the count *)
+
+(* Everything observable about a graph, in deterministic order — node
+   kinds plus every edge with its full payload (incl. generation
+   stamps), so two fixpoint runs compare byte-for-byte. *)
+let graph_fingerprint (data : Gql_data.Graph.t) =
+  let nodes =
+    List.rev
+      (Gql_graph.Digraph.fold_nodes
+         (fun acc i kind -> (i, kind) :: acc)
+         [] data.Gql_data.Graph.g)
+  in
+  let edges = ref [] in
+  Gql_graph.Digraph.iter_edges
+    (fun ~src ~dst (e : Gql_data.Graph.edge) -> edges := (src, dst, e) :: !edges)
+    data.Gql_data.Graph.g;
+  (nodes, List.rev !edges)
+
+let seq_vs_par ~(xml : string) ~(source : string) : verdict =
+  match Gql_core.Gql.language_of_source source with
+  | `Unknown -> failf "query source has no language header"
+  | `Xmlgl -> (
+    let run domains =
+      capture (fun () ->
+          let db = Gql_core.Gql.load_xml_string xml in
+          let p = Gql_core.Gql.parse_xmlgl source in
+          List.concat_map
+            (fun (r : Gql_xmlgl.Ast.rule) ->
+              Gql_xmlgl.Engine.query_bindings ~index:(Gql_core.Gql.index db)
+                ~domains db.Gql_core.Gql.graph r.Gql_xmlgl.Ast.query)
+            p.Gql_xmlgl.Ast.rules)
+    in
+    match run 1, run par_domains with
+    | Ok seq, Ok par ->
+      if List.map Array.to_list seq = List.map Array.to_list par then Pass
+      else
+        failf "xmlgl bindings differ: seq=%d par=%d" (List.length seq)
+          (List.length par)
+    | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
+    | Ok _, Error e -> failf "parallel raised where sequential answered: %s" e
+    | Error e, Ok _ -> failf "sequential raised where parallel answered: %s" e)
+  | `Wglog -> (
+    (* goal embeddings AND the full fixpoint (stats + derived graph) *)
+    let run domains =
+      capture (fun () ->
+          let db = Gql_core.Gql.load_xml_string xml in
+          let p = Gql_core.Gql.parse_wglog source in
+          let goals =
+            List.concat_map
+              (fun r ->
+                List.map Array.to_list
+                  (Gql_wglog.Eval.goal ~index:(Gql_core.Gql.index db) ~domains
+                     db.Gql_core.Gql.graph r))
+              p.Gql_wglog.Ast.rules
+          in
+          let g = Gql_data.Graph.copy db.Gql_core.Gql.graph in
+          let stats = Gql_wglog.Eval.run ~domains g p in
+          (goals, stats, graph_fingerprint g))
+    in
+    match run 1, run par_domains with
+    | Ok (gs, ss, fs), Ok (gp, sp, fp) ->
+      if gs <> gp then
+        failf "wglog goal embeddings differ: seq=%d par=%d" (List.length gs)
+          (List.length gp)
+      else if ss <> sp then
+        failf "fixpoint stats differ: seq=%d/%d/%d/%d par=%d/%d/%d/%d"
+          ss.Gql_wglog.Eval.rounds ss.embeddings_found ss.nodes_added
+          ss.edges_added sp.Gql_wglog.Eval.rounds sp.embeddings_found
+          sp.nodes_added sp.edges_added
+      else if fs <> fp then Fail "derived graphs differ"
+      else Pass
+    | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
+    | Ok _, Error e -> failf "parallel raised where sequential answered: %s" e
+    | Error e, Ok _ -> failf "sequential raised where parallel answered: %s" e)

@@ -77,20 +77,33 @@ let no_provider : ('n, 'e) provider =
     prov_nav = (fun _ -> None);
   }
 
-(** Enumerate embeddings, calling [emit] on each.  [emit] may raise to
-    stop early (see {!exists}).  [pre_bound] fixes pattern nodes to data
-    nodes before the search starts (duplicates must agree); the fixed
-    nodes are checked against their predicates and edge constraints.
-    [provider] supplies index-backed candidates; with the default, every
-    global candidate list is a graph scan.  Indexed and scan-based
-    searches enumerate the same embeddings in the same order (provider
-    candidate lists are sorted, as scans are). *)
-let iter_embeddings ?(pre_bound = []) ?(provider = no_provider)
-    (pat : ('n, 'e) pattern)
-    (g : ('n, 'e) Digraph.t) ~(emit : embedding -> unit) : unit =
+(* One search instance: fresh mutable state (bindings, caches) closed
+   over by two operations.
+
+   [i_plan ()] seeds the pre-bound nodes and reports the first choice
+   point the search will branch on — [Some (p, candidates)] — or [None]
+   when there is nothing to branch on (seeds rejected, or the pattern is
+   fully pre-bound).
+
+   [i_run ~first] performs the full backtracking enumeration; [first],
+   when given, replaces the first choice point's node selection and
+   candidate list.  The parallel driver plans once, splits the
+   candidates into chunks, and gives each chunk to a fresh instance via
+   [~first]: everything past the first choice point is per-instance
+   state, so the per-chunk outputs concatenated in chunk order are
+   exactly the sequential enumeration.  The data graph, pattern and
+   provider are shared across instances and must not be mutated while a
+   search runs. *)
+type run_ops = {
+  i_plan : unit -> (int * int list) option;
+  i_run : first:(int * int list) option -> unit;
+}
+
+let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
+    (pat : ('n, 'e) pattern) (g : ('n, 'e) Digraph.t)
+    ~(emit : embedding -> unit) : run_ops =
   let k = Array.length pat.p_nodes in
-  if k = 0 then emit [||]
-  else begin
+  begin
     let binding = Array.make k (-1) in
     let bound = Array.make k false in
     let p_edges = Array.of_list pat.p_edges in
@@ -254,40 +267,97 @@ let iter_embeddings ?(pre_bound = []) ?(provider = no_provider)
           else false)
         pre_bound
     in
-    if seeds_ok then begin
-      let already = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bound in
-      let rec extend depth =
-        if depth = k then emit (Array.copy binding)
-        else begin
-          let p = next_node () in
-          let cands = candidates_for p in
-          bound.(p) <- true;
-          List.iter
-            (fun candidate ->
-              binding.(p) <- candidate;
-              if edges_ok p then extend (depth + 1))
-            cands;
-          binding.(p) <- -1;
-          bound.(p) <- false
-        end
+    let already = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bound in
+    let i_plan () =
+      if (not seeds_ok) || already >= k then None
+      else
+        let p = next_node () in
+        Some (p, candidates_for p)
+    in
+    let rec extend ~first depth =
+      if depth = k then emit (Array.copy binding)
+      else begin
+        let p, cands =
+          match first with
+          | Some (p, cands) -> (p, cands)
+          | None ->
+            let p = next_node () in
+            (p, candidates_for p)
+        in
+        bound.(p) <- true;
+        List.iter
+          (fun candidate ->
+            binding.(p) <- candidate;
+            if edges_ok p then extend ~first:None (depth + 1))
+          cands;
+        binding.(p) <- -1;
+        bound.(p) <- false
+      end
+    in
+    let i_run ~first = if seeds_ok then extend ~first already in
+    { i_plan; i_run }
+  end
+
+(** Enumerate embeddings, calling [emit] on each.  [emit] may raise to
+    stop early (see {!exists}).  [pre_bound] fixes pattern nodes to data
+    nodes before the search starts (duplicates must agree); the fixed
+    nodes are checked against their predicates and edge constraints.
+    [provider] supplies index-backed candidates; with the default, every
+    global candidate list is a graph scan.  Indexed and scan-based
+    searches enumerate the same embeddings in the same order (provider
+    candidate lists are sorted, as scans are).
+
+    [domains] > 1 partitions the first choice point's candidates over
+    that many domains ({!Par.map_chunks}); the enumeration order is
+    byte-identical to the sequential one, and [emit] is always called
+    sequentially from the calling domain.  The default comes from
+    {!Par.default_domains} ([GQL_DOMAINS] / [Par.set_default]).  The
+    graph must not be mutated during a parallel search. *)
+let iter_embeddings ?(pre_bound = []) ?(provider = no_provider) ?domains
+    (pat : ('n, 'e) pattern)
+    (g : ('n, 'e) Digraph.t) ~(emit : embedding -> unit) : unit =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.default_domains ()
+  in
+  if Array.length pat.p_nodes = 0 then emit [||]
+  else if domains <= 1 then
+    (instance ~pre_bound ~provider pat g ~emit).i_run ~first:None
+  else begin
+    let probe = instance ~pre_bound ~provider pat g ~emit:ignore in
+    match probe.i_plan () with
+    | None -> (instance ~pre_bound ~provider pat g ~emit).i_run ~first:None
+    | Some (p, cands) ->
+      let arr = Array.of_list cands in
+      let chunks =
+        Par.map_chunks ~domains ~n:(Array.length arr) (fun lo hi ->
+            let buf = ref [] in
+            let sub = Array.to_list (Array.sub arr lo (hi - lo)) in
+            let inst =
+              instance ~pre_bound ~provider pat g ~emit:(fun e ->
+                  buf := e :: !buf)
+            in
+            inst.i_run ~first:(Some (p, sub));
+            List.rev !buf)
       in
-      extend already
-    end
+      List.iter (fun chunk -> List.iter emit chunk) chunks
   end
 
 exception Found
 
 let exists ?pre_bound ?provider pat g =
-  match iter_embeddings ?pre_bound ?provider pat g ~emit:(fun _ -> raise Found) with
+  match
+    iter_embeddings ?pre_bound ?provider ~domains:1 pat g ~emit:(fun _ ->
+        raise Found)
+  with
   | () -> false
   | exception Found -> true
 
-let all_embeddings ?pre_bound ?provider pat g =
+let all_embeddings ?pre_bound ?provider ?domains pat g =
   let acc = ref [] in
-  iter_embeddings ?pre_bound ?provider pat g ~emit:(fun e -> acc := e :: !acc);
+  iter_embeddings ?pre_bound ?provider ?domains pat g ~emit:(fun e -> acc := e :: !acc);
   List.rev !acc
 
-let count ?pre_bound ?provider pat g =
+let count ?pre_bound ?provider ?domains pat g =
   let n = ref 0 in
-  iter_embeddings ?pre_bound ?provider pat g ~emit:(fun _ -> incr n);
+  iter_embeddings ?pre_bound ?provider ?domains pat g ~emit:(fun _ -> incr n);
   !n

@@ -1,0 +1,157 @@
+(** Deterministic chunked fan-out over OCaml 5 domains.
+
+    The embedding searches in this repo are pure reads over a frozen or
+    quiescent graph, so they parallelise by *seed partitioning*: split
+    the first choice point's candidate list into contiguous chunks, run
+    an independent search instance per chunk, and concatenate the
+    per-chunk buffers in chunk order.  Because every instance is
+    deterministic and the chunks tile the sequential candidate order,
+    the merged enumeration is byte-identical to the sequential one —
+    parallelism changes wall-clock time, never answers.
+
+    {!map_chunks} is the only scheduling primitive: a fixed set of
+    domains pulls chunk indexes from a shared atomic counter (work
+    stealing at chunk granularity), the calling domain participates, and
+    results land in a slot array read back after all joins.  Worker
+    domains are flagged via {!Domain.DLS} so nested calls degrade to
+    sequential execution instead of spawning domains recursively.
+
+    A process-wide {!budget} (seeded from
+    [Domain.recommended_domain_count () - 1]) accounts for extra live
+    domains.  Explicit requests ([~domains:4] from the CLI, bench or
+    tests) are always honoured — the user asked — but they charge the
+    budget while running, and *auto* sizing ({!auto_domains}, used by
+    the server) only spends what is currently left, so an 8-client
+    burst cannot oversubscribe the machine: busy pool workers each hold
+    one unit, and per-request fan-out sees the remainder. *)
+
+let total_capacity = Domain.recommended_domain_count ()
+
+(* Spare-domain budget: how many domains beyond the already-running
+   ones the machine can absorb.  May go negative under explicit
+   oversubscription; auto sizing clamps at zero. *)
+let budget = Atomic.make (max 0 (total_capacity - 1))
+
+let charge () = ignore (Atomic.fetch_and_add budget (-1))
+let refund () = ignore (Atomic.fetch_and_add budget 1)
+
+(** Run [f] with one budget unit held — how a server pool worker marks
+    itself busy for the duration of a job. *)
+let charged f =
+  charge ();
+  Fun.protect ~finally:refund f
+
+(** Domain count an auto-sized caller should use right now: itself plus
+    whatever spare capacity is left.  Never below 1. *)
+let auto_domains () = 1 + max 0 (Atomic.get budget)
+
+(* Default domain count for engine entry points that were not given an
+   explicit [~domains]: a programmatic override ({!set_default}, the
+   CLI's [--domains]) wins, then the [GQL_DOMAINS] environment variable
+   (how CI runs the whole test suite in parallel mode), then 1.
+   [env_domains] is computed once at module initialisation so no lazy
+   cell is forced concurrently from worker domains. *)
+let env_domains =
+  match Sys.getenv_opt "GQL_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+  | None -> 1
+
+let override = Atomic.make 0 (* 0 = unset *)
+
+let set_default n = Atomic.set override (max 1 n)
+
+let default_domains () =
+  match Atomic.get override with 0 -> env_domains | n -> n
+
+(* Worker domains must not fan out again: nested [map_chunks] inside a
+   worker runs sequentially on that worker. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let chunk_factor = 4
+(* chunks per domain: cheap load balancing for skewed seed costs *)
+
+(** [map_chunks ~domains ~n f] tiles the index range [\[0, n)] with
+    contiguous chunks, evaluates [f lo hi] once per chunk ([lo]
+    inclusive, [hi] exclusive) on up to [domains] domains (the caller
+    included), and returns the chunk results in ascending chunk order —
+    so [List.concat (map_chunks ~domains ~n f)] equals the sequential
+    [f 0 n] whenever [f] concatenates over its range.  If any [f]
+    raises, the exception of the lowest-numbered failing chunk is
+    re-raised after all domains have joined.  Runs sequentially when
+    [domains <= 1], [n < 2], or when called from inside a worker. *)
+let map_chunks ~(domains : int) ~(n : int) (f : int -> int -> 'a) : 'a list =
+  if n <= 0 then []
+  else if domains <= 1 || n < 2 || Domain.DLS.get in_worker then [ f 0 n ]
+  else begin
+    let extra = min (domains - 1) (n - 1) in
+    let n_chunks = min n ((extra + 1) * chunk_factor) in
+    let slots : ('a, exn) result option array = Array.make n_chunks None in
+    let next = Atomic.make 0 in
+    let work () =
+      let rec loop () =
+        let c = Atomic.fetch_and_add next 1 in
+        if c < n_chunks then begin
+          let lo = c * n / n_chunks and hi = (c + 1) * n / n_chunks in
+          slots.(c) <- Some (try Ok (f lo hi) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* one budget unit per *extra* domain (the caller is already live);
+       best effort: if the OS refuses a domain, run with fewer *)
+    let spawned = ref [] in
+    (try
+       for _ = 1 to extra do
+         charge ();
+         match
+           Domain.spawn (fun () ->
+               Domain.DLS.set in_worker true;
+               work ())
+         with
+         | d -> spawned := d :: !spawned
+         | exception e ->
+           refund ();
+           raise e
+       done
+     with _ -> ());
+    let was_worker = Domain.DLS.get in_worker in
+    Domain.DLS.set in_worker true;
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set in_worker was_worker;
+        List.iter Domain.join !spawned;
+        List.iter (fun _ -> refund ()) !spawned)
+      work;
+    (* all chunks were claimed and filled before the counter ran past
+       [n_chunks]; joins give the happens-before edge for the reads *)
+    let out = ref [] in
+    for c = n_chunks - 1 downto 0 do
+      match slots.(c) with
+      | Some (Ok v) -> out := v :: !out
+      | Some (Error _) | None -> ()
+    done;
+    Array.iter
+      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      slots;
+    !out
+  end
+
+(** Deterministic parallel concat-map: [concat_map_chunks ~domains f xs]
+    equals [List.concat_map f xs], computed chunk-wise. *)
+let concat_map_chunks ~domains (f : 'a -> 'b list) (xs : 'a list) : 'b list =
+  match xs with
+  | [] -> []
+  | [ x ] -> f x
+  | _ ->
+    let arr = Array.of_list xs in
+    map_chunks ~domains ~n:(Array.length arr) (fun lo hi ->
+        let out = ref [] in
+        for i = hi - 1 downto lo do
+          out := f arr.(i) :: !out
+        done;
+        List.concat !out)
+    |> List.concat

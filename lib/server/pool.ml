@@ -5,6 +5,12 @@
     queries truly in parallel (snapshots are immutable — workers share
     them without synchronisation) while further connections queue.
 
+    A worker holds one unit of the process-wide {!Gql_graph.Par} domain
+    budget while it runs a job: per-request parallelism sized by
+    [Par.auto_domains] then only spends the capacity that idle workers
+    leave over, so a burst of clients cannot oversubscribe the machine
+    while a lone request may still fan out across the whole budget.
+
     [shutdown] drains nothing: it wakes every worker, lets in-flight
     jobs finish, and joins the domains — callers close listeners first
     so no new jobs arrive. *)
@@ -30,7 +36,8 @@ let worker t () =
     else begin
       let job = Queue.pop t.jobs in
       Mutex.unlock t.mutex;
-      (try job () with _ -> () (* a job's failure is the job's problem *));
+      (try Gql_graph.Par.charged job
+       with _ -> () (* a job's failure is the job's problem *));
       loop ()
     end
   in

@@ -24,10 +24,18 @@ type config = {
   result_cache : int;  (** LRU capacity; [0] disables result caching *)
   query_cache : int;  (** prepared-query capacity *)
   default_deadline_ms : float option;
+  run_domains : int option;
+      (** domains per [RUN] evaluation; [None] (the default) sizes each
+          RUN by {!Gql_graph.Par.auto_domains} — a lone request borrows
+          the capacity idle pool workers leave unused, while concurrent
+          busy workers each hold a budget unit so a client burst
+          degrades to one domain per request instead of oversubscribing
+          the machine *)
 }
 
 let default_config =
-  { workers = None; result_cache = 256; query_cache = 1024; default_deadline_ms = None }
+  { workers = None; result_cache = 256; query_cache = 1024;
+    default_deadline_ms = None; run_domains = None }
 
 type t = {
   config : config;
@@ -119,11 +127,17 @@ let with_result_cache t snap entry kind (eval : unit -> string * string) :
       Rcache.add rc key ~info body;
       (info, body))
 
-let evaluate (snap : Registry.snapshot) (entry : Qcache.entry) : string * string =
+let evaluate t (snap : Registry.snapshot) (entry : Qcache.entry) :
+    string * string =
+  let domains =
+    match t.config.run_domains with
+    | Some n -> max 1 n
+    | None -> Gql_graph.Par.auto_domains ()
+  in
   match entry.Qcache.prepared with
   | Qcache.Xmlgl p ->
     let result =
-      Gql_xmlgl.Engine.run_program ~index:snap.Registry.index
+      Gql_xmlgl.Engine.run_program ~index:snap.Registry.index ~domains
         snap.Registry.db.Gql_core.Gql.graph p
     in
     let body = Gql_core.Gql.to_xml_string result in
@@ -132,7 +146,7 @@ let evaluate (snap : Registry.snapshot) (entry : Qcache.entry) : string * string
   | Qcache.Wglog p ->
     (* deductive semantics mutate: run on a private fork, publish nothing *)
     let g = Registry.fork snap in
-    let stats = Gql_wglog.Eval.run g p in
+    let stats = Gql_wglog.Eval.run ~domains g p in
     ( Printf.sprintf "lang=wglog derived_edges=%d" stats.Gql_wglog.Eval.edges_added,
       wglog_stats_line stats )
 
@@ -211,7 +225,8 @@ let handle_request t (req : Protocol.request) ~(started : float) :
             else begin
               Metrics.incr t.metrics.Metrics.runs;
               let info, body =
-                with_result_cache t snap entry "run" (fun () -> evaluate snap entry)
+                with_result_cache t snap entry "run" (fun () ->
+                    evaluate t snap entry)
               in
               if overdue () then begin
                 (* the work is done (and cached) but the client's budget

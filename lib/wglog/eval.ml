@@ -41,19 +41,27 @@ let check_or_raise (p : Ast.program) =
   | [] -> ()
   | errs -> invalid "%s" (String.concat "; " errs)
 
-let condition_holds (c : Ast.condition) (v : Value.t) =
+(* Conditions are compiled once per rule-node spec ([node_pred] below),
+   not once per candidate node: a regex condition used to rebuild its
+   Chre automaton for every node it tested, which dominated rules that
+   fall back to full rematch each fixpoint round. *)
+let compile_condition (c : Ast.condition) : Value.t -> bool =
   match c with
-  | Ast.Cmp (op, rhs) -> (
-    let cmp = Value.compare_values v rhs in
-    match op with
-    | Ast.Eq -> cmp = 0
-    | Ast.Neq -> cmp <> 0
-    | Ast.Lt -> cmp < 0
-    | Ast.Le -> cmp <= 0
-    | Ast.Gt -> cmp > 0
-    | Ast.Ge -> cmp >= 0)
+  | Ast.Cmp (op, rhs) ->
+    fun v ->
+      (let cmp = Value.compare_values v rhs in
+       match op with
+       | Ast.Eq -> cmp = 0
+       | Ast.Neq -> cmp <> 0
+       | Ast.Lt -> cmp < 0
+       | Ast.Le -> cmp <= 0
+       | Ast.Gt -> cmp > 0
+       | Ast.Ge -> cmp >= 0)
   | Ast.Re pattern ->
-    Gql_regex.Chre.search (Gql_regex.Chre.compile pattern) (Value.to_string v)
+    let re = Gql_regex.Chre.compile pattern in
+    fun v -> Gql_regex.Chre.search re (Value.to_string v)
+
+let condition_holds (c : Ast.condition) (v : Value.t) = compile_condition c v
 
 (* --- query-part compilation ---------------------------------------- *)
 
@@ -97,13 +105,14 @@ let node_pred (nd : Ast.node) : int -> Graph.node_kind -> bool =
     fun _ kind ->
       (match kind with Graph.Complex _ -> true | Graph.Atom _ -> false)
   | Ast.Value const ->
+    let conds = List.map compile_condition nd.Ast.n_cond in
     fun _ kind ->
       (match kind with
       | Graph.Atom v ->
         (match const with
         | Some c -> Value.equal_values c v
         | None -> true)
-        && List.for_all (fun cond -> condition_holds cond v) nd.Ast.n_cond
+        && List.for_all (fun cond -> cond v) conds
       | Graph.Complex _ -> false)
 
 let compile_query (r : Ast.rule) : compiled_query =
@@ -298,15 +307,17 @@ let neg_checks_ok ?index (data : Graph.t) (cq : compiled_query)
     cq.neg_checks
 
 (** Embeddings of the query part; each result maps rule node id -> data
-    node (non-query nodes map to -1). *)
-let query_embeddings ?(pre_bound = []) ?index (data : Graph.t) (r : Ast.rule)
-    (cq : compiled_query) : int array list =
+    node (non-query nodes map to -1).  [domains] parallelises the
+    embedding search (byte-identical enumeration, see {!Gql_graph.Par});
+    the negation post-filters run sequentially on the calling domain. *)
+let query_embeddings ?(pre_bound = []) ?index ?domains (data : Graph.t)
+    (r : Ast.rule) (cq : compiled_query) : int array list =
   let n = Array.length r.Ast.nodes in
   if not (global_negs_ok ?index data cq) then []
   else begin
   let out = ref [] in
   let prov = Option.map (fun idx -> provider idx cq) index in
-  Gql_graph.Homo.iter_embeddings ~pre_bound ?provider:prov cq.pattern
+  Gql_graph.Homo.iter_embeddings ~pre_bound ?provider:prov ?domains cq.pattern
     data.Graph.g ~emit:(fun emb ->
       let full = Array.make n (-1) in
       Array.iteri (fun pos qid -> full.(qid) <- emb.(pos)) cq.query_ids;
@@ -522,6 +533,75 @@ let apply_construction (data : Graph.t) (skolems : skolem_table)
     r.Ast.edges;
   (!nodes_added, !edges_added)
 
+(* --- construction footprint ------------------------------------------ *)
+
+(* Which rules can reuse a pre-loop index across fixpoint rounds?  The
+   unseeded fallback (regex-path rules, rules with no pattern edge)
+   rebuilt the index every round, which made E5's `root` query pay a
+   full O(graph) rebuild per round.  An index built before the loop
+   stays *exact* for a rule as long as nothing the program constructs
+   can be visible to that rule's query part: the program adds no nodes,
+   and the labels of the edges it may add are disjoint from every label
+   the query consults (positive, negated, free-negation and regex-path
+   alike — a `*` wildcard consults every relation label). *)
+
+module Labels = Set.Make (String)
+
+let regex_symbols (re : string Gql_regex.Syntax.t) : string list =
+  let rec go acc = function
+    | Gql_regex.Syntax.Empty | Gql_regex.Syntax.Eps -> acc
+    | Gql_regex.Syntax.Sym s -> s :: acc
+    | Gql_regex.Syntax.Seq (a, b) | Gql_regex.Syntax.Alt (a, b) ->
+      go (go acc a) b
+    | Gql_regex.Syntax.Star a | Gql_regex.Syntax.Plus a
+    | Gql_regex.Syntax.Opt a ->
+      go acc a
+  in
+  go [] re
+
+(* (can add nodes, labels of edges the construction parts may add) *)
+let construction_footprint (p : Ast.program) : bool * Labels.t =
+  List.fold_left
+    (fun (nodes, labels) (r : Ast.rule) ->
+      let nodes = nodes || Ast.construct_nodes r <> [] in
+      let labels =
+        List.fold_left
+          (fun acc (e : Ast.edge) ->
+            if e.Ast.e_role = Ast.Construct then Labels.add e.Ast.e_label acc
+            else acc)
+          labels r.Ast.edges
+      in
+      (nodes, labels))
+    (false, Labels.empty) p.Ast.rules
+
+(* Edge labels one rule's query part examines; [`Any] if a regex path
+   contains the `*` wildcard. *)
+let query_footprint (r : Ast.rule) : [ `Any | `Labels of Labels.t ] =
+  let exception Wildcard in
+  try
+    `Labels
+      (List.fold_left
+         (fun acc (e : Ast.edge) ->
+           if e.Ast.e_role <> Ast.Query then acc
+           else
+             match e.Ast.e_mode with
+             | Ast.Plain | Ast.Negated -> Labels.add e.Ast.e_label acc
+             | Ast.Collect -> acc
+             | Ast.Regex re ->
+               List.fold_left
+                 (fun acc s ->
+                   if s = "*" then raise Wildcard else Labels.add s acc)
+                 acc (regex_symbols re))
+         Labels.empty r.Ast.edges)
+  with Wildcard -> `Any
+
+let stale_index_ok ~adds_nodes ~added_labels (r : Ast.rule) : bool =
+  (not adds_nodes)
+  &&
+  match query_footprint r with
+  | `Any -> Labels.is_empty added_labels
+  | `Labels consulted -> Labels.is_empty (Labels.inter consulted added_labels)
+
 (* --- fixpoint -------------------------------------------------------- *)
 
 (* Semi-naive: for every positive Direct pattern edge, enumerate the data
@@ -551,13 +631,36 @@ let delta_seeds (data : Graph.t) (cq : compiled_query) ~(last_gen : int) :
     matching rounds (round 1, naive strategy, regex rules); seeded
     delta completion already tracks the delta and would pay a rebuild
     per round for nothing.  The {!Index.cache} makes consecutive rules
-    in a round share one build. *)
+    in a round share one build, and rules whose query footprint is
+    disjoint from everything the program can construct
+    ({!stale_index_ok}) keep reusing the pre-loop index instead of
+    rebuilding it every round.
+
+    [domains] parallelises the matching side of each round — the
+    unseeded searches and the completion of the previous round's delta
+    seeds.  Graph mutation ([apply_construction]), Skolem-table updates
+    and the per-rule dedup stay strictly sequential on the calling
+    domain, so generation stamps and fixpoint results are identical to
+    a sequential run. *)
 let run ?(strategy = `Semi_naive) ?(use_index = true) ?(max_rounds = 1000)
-    (data : Graph.t) (p : Ast.program) : stats =
+    ?domains (data : Graph.t) (p : Ast.program) : stats =
   check_or_raise p;
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> Gql_graph.Par.default_domains ()
+  in
   let compiled = List.map (fun r -> (r, compile_query r)) p.Ast.rules in
+  let adds_nodes, added_labels = construction_footprint p in
+  let stale_ok =
+    List.map (fun (r, _) -> stale_index_ok ~adds_nodes ~added_labels r) compiled
+  in
   let skolems : skolem_table = Hashtbl.create 64 in
   let icache = Index.cache () in
+  let base_index =
+    (* fresh at round 1; still exact in later rounds for stale-ok rules *)
+    if use_index then Some (Index.refresh icache data) else None
+  in
   let total_emb = ref 0 and total_nodes = ref 0 and total_edges = ref 0 in
   let round = ref 0 in
   let continue_ = ref true in
@@ -566,30 +669,38 @@ let run ?(strategy = `Semi_naive) ?(use_index = true) ?(max_rounds = 1000)
     let gen = !round in
     let added_this_round = ref 0 in
     List.iteri
-      (fun rule_idx (r, cq) ->
+      (fun rule_idx ((r, cq), stale_ok) ->
         let embeddings =
           if !round = 1 || strategy = `Naive || cq.has_regex
              || cq.n_pattern_edges = 0
           then
             let index =
-              if use_index then Some (Index.refresh icache data) else None
+              if not use_index then None
+              else if !round = 1 || stale_ok then base_index
+              else Some (Index.refresh icache data)
             in
-            query_embeddings ?index data r cq
-          else
-            (* Semi-naive: union of delta-seeded matches. *)
+            query_embeddings ?index ~domains data r cq
+          else begin
+            (* Semi-naive: union of delta-seeded matches.  Seeds are
+               completed in parallel (pure reads); the dedup below runs
+               sequentially over the per-seed lists in seed order, so
+               the union is the one a sequential run produces. *)
             let seeds = delta_seeds data cq ~last_gen:(gen - 1) in
+            let matched =
+              Gql_graph.Par.concat_map_chunks ~domains
+                (fun pre_bound -> query_embeddings ~pre_bound data r cq)
+                seeds
+            in
             let seen = Hashtbl.create 64 in
-            List.concat_map
-              (fun pre_bound ->
-                List.filter
-                  (fun emb ->
-                    if Hashtbl.mem seen emb then false
-                    else begin
-                      Hashtbl.replace seen emb ();
-                      true
-                    end)
-                  (query_embeddings ~pre_bound data r cq))
-              seeds
+            List.filter
+              (fun emb ->
+                if Hashtbl.mem seen emb then false
+                else begin
+                  Hashtbl.replace seen emb ();
+                  true
+                end)
+              matched
+          end
         in
         total_emb := !total_emb + List.length embeddings;
         List.iter
@@ -603,7 +714,7 @@ let run ?(strategy = `Semi_naive) ?(use_index = true) ?(max_rounds = 1000)
               added_this_round := !added_this_round + nn + ne
             end)
           embeddings)
-      compiled;
+      (List.combine compiled stale_ok);
     if !added_this_round = 0 then continue_ := false
   done;
   {
@@ -615,9 +726,9 @@ let run ?(strategy = `Semi_naive) ?(use_index = true) ?(max_rounds = 1000)
 
 (** Evaluate a goal (pure query rule): return its embeddings without
     touching the database.  Ill-formed rules raise {!Invalid_query}. *)
-let goal ?index (data : Graph.t) (r : Ast.rule) : int array list =
+let goal ?index ?domains (data : Graph.t) (r : Ast.rule) : int array list =
   (match Ast.check_rule r with
   | [] -> ()
   | errs -> invalid "%s" (String.concat "; " errs));
   let cq = compile_query r in
-  query_embeddings ?index data r cq
+  query_embeddings ?index ?domains data r cq

@@ -3,23 +3,29 @@
     [run_rule] evaluates one query/construction pair; [run_program]
     evaluates a set of rules and collects all their results under a
     single result root, which is how the paper composes "complex
-    programs [that] may consist of various rules". *)
+    programs [that] may consist of various rules".
+
+    [domains] on each entry point fans the embedding search out over
+    OCaml domains (see {!Gql_graph.Par}); construction always runs
+    sequentially on the calling domain. *)
 
 exception Ill_formed of string list
 
 let check_or_raise errs = if errs <> [] then raise (Ill_formed errs)
 
 (** Evaluate one rule; returns the constructed forest. *)
-let run_rule ?index (data : Gql_data.Graph.t) (r : Ast.rule) : Gql_xml.Tree.node list =
+let run_rule ?index ?domains (data : Gql_data.Graph.t) (r : Ast.rule) :
+    Gql_xml.Tree.node list =
   check_or_raise (Ast.check_rule r);
-  let bindings = Matching.run ?index data r.query in
+  let bindings = Matching.run ?index ?domains data r.query in
   Construct.run data r.construction bindings
 
 (** Evaluate a program; the result is a single element named after
     [p.result_root] containing every rule's output in rule order. *)
-let run_program ?index (data : Gql_data.Graph.t) (p : Ast.program) : Gql_xml.Tree.element =
+let run_program ?index ?domains (data : Gql_data.Graph.t) (p : Ast.program) :
+    Gql_xml.Tree.element =
   check_or_raise (Ast.check_program p);
-  let children = List.concat_map (fun r -> run_rule ?index data r) p.rules in
+  let children = List.concat_map (fun r -> run_rule ?index ?domains data r) p.rules in
   { Gql_xml.Tree.name = p.result_root; attrs = []; children }
 
 (** Convenience: evaluate over an XML string, producing an XML string. *)
@@ -28,5 +34,5 @@ let run_program_xml ?dtd (xml : string) (p : Ast.program) : string =
   Gql_xml.Printer.element_to_string_pretty (run_program data p)
 
 (** Bindings only — used by benches and the expressiveness matrix. *)
-let query_bindings ?index (data : Gql_data.Graph.t) (q : Ast.query) =
-  Matching.run ?index data q
+let query_bindings ?index ?domains (data : Gql_data.Graph.t) (q : Ast.query) =
+  Matching.run ?index ?domains data q

@@ -356,14 +356,18 @@ let embedding_ok (c : compiled) (data : Graph.t) (emb : int array) : bool =
     c.cross_preds
 
 (** All bindings of the query in the data graph; [index] routes the
-    embedding search through the frozen index instead of graph scans. *)
-let run ?(index : Index.t option) (data : Graph.t) (q : Ast.query) : binding list =
+    embedding search through the frozen index instead of graph scans;
+    [domains] partitions the first pattern node's candidates over that
+    many domains (answers are byte-identical to sequential). *)
+let run ?(index : Index.t option) ?domains (data : Graph.t) (q : Ast.query) :
+    binding list =
   let c = compile data q in
   let provider = Option.map (fun idx -> provider idx c) index in
   let out = ref [] in
-  Gql_graph.Homo.iter_embeddings ?provider c.pattern data.Graph.g ~emit:(fun emb ->
+  Gql_graph.Homo.iter_embeddings ?provider ?domains c.pattern data.Graph.g
+    ~emit:(fun emb ->
       if embedding_ok c data emb then out := to_query_binding c emb :: !out);
   List.rev !out
 
-let count ?index (data : Graph.t) (q : Ast.query) : int =
-  List.length (run ?index data q)
+let count ?index ?domains (data : Graph.t) (q : Ast.query) : int =
+  List.length (run ?index ?domains data q)

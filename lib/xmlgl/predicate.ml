@@ -42,16 +42,21 @@ let rec eval_operand env ~self (op : Ast.operand) : Value.t option =
     | (Some _ | None), _ -> None)
 
 (* Regex predicates are compiled once per distinct pattern and cached;
-   rules are evaluated over thousands of candidate nodes. *)
+   rules are evaluated over thousands of candidate nodes.  The cache is
+   reached from node predicates during matching, which may run on
+   several domains at once — hence the mutex (compiling under the lock
+   is fine: it happens once per distinct pattern). *)
 let regex_cache : (string, Gql_regex.Chre.t) Hashtbl.t = Hashtbl.create 16
+let regex_cache_lock = Mutex.create ()
 
 let compiled_regex pattern =
-  match Hashtbl.find_opt regex_cache pattern with
-  | Some t -> t
-  | None ->
-    let t = Gql_regex.Chre.compile pattern in
-    Hashtbl.replace regex_cache pattern t;
-    t
+  Mutex.protect regex_cache_lock (fun () ->
+      match Hashtbl.find_opt regex_cache pattern with
+      | Some t -> t
+      | None ->
+        let t = Gql_regex.Chre.compile pattern in
+        Hashtbl.replace regex_cache pattern t;
+        t)
 
 let contains_sub ~needle hay =
   let hl = String.length hay and nl = String.length needle in
