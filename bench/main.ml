@@ -16,22 +16,39 @@
 let seed_base = ref 0
 let seed k = k + !seed_base
 
-type timing = { median_ms : float; min_ms : float }
+type timing = {
+  median_ms : float;
+  min_ms : float;
+  minor_words : float;  (** minor-heap words allocated, per run *)
+  major_words : float;  (** major-heap words allocated, per run *)
+}
 
 let timed ?(repeat = 3) f =
   (* One warm-up run first (page in code paths, fill caches), then
      median-of-k wall clock; the minimum is kept as the low-noise
-     floor.  Tables print the median, BENCH JSON records both. *)
+     floor.  Tables print the median, BENCH JSON records both, plus
+     the per-run GC allocation ({!Gc.quick_stat} deltas averaged over
+     the measured runs) so allocation regressions show up alongside
+     time. *)
   ignore (f ());
+  let g0 = Gc.quick_stat () in
   let runs =
     List.init repeat (fun _ ->
         let t0 = Unix.gettimeofday () in
         let r = f () in
         ((Unix.gettimeofday () -. t0) *. 1000.0, r))
   in
+  let g1 = Gc.quick_stat () in
+  let per_run x = x /. float_of_int repeat in
   let times = List.sort compare (List.map fst runs) in
   let _, r = List.nth runs (repeat - 1) in
-  ( { median_ms = List.nth times (repeat / 2); min_ms = List.hd times }, r )
+  ( {
+      median_ms = List.nth times (repeat / 2);
+      min_ms = List.hd times;
+      minor_words = per_run (g1.Gc.minor_words -. g0.Gc.minor_words);
+      major_words = per_run (g1.Gc.major_words -. g0.Gc.major_words);
+    },
+    r )
 
 let ms (t : timing) = t.median_ms
 
@@ -98,14 +115,19 @@ let record ~experiment fields =
   records := J_obj (("experiment", J_str experiment) :: fields) :: !records
 
 let j_timing (t : timing) =
-  [ ("median_ms", J_num t.median_ms); ("min_ms", J_num t.min_ms) ]
+  [
+    ("median_ms", J_num t.median_ms);
+    ("min_ms", J_num t.min_ms);
+    ("minor_words", J_num t.minor_words);
+    ("major_words", J_num t.major_words);
+  ]
 
 let write_json path =
   let buf = Buffer.create 4096 in
   json_to_buf buf
     (J_obj
        [
-         ("schema", J_str "bench-trajectory-v1");
+         ("schema", J_str "bench-trajectory-v2");
          ("records", J_list (List.rev !records));
        ]);
   Buffer.add_char buf '\n';
@@ -783,6 +805,128 @@ let e13 () =
     workloads
 
 (* ------------------------------------------------------------------ *)
+(* E14 — the interned-symbol data path vs the PR4 baseline              *)
+(* ------------------------------------------------------------------ *)
+
+(* PR4 medians are read back from the committed BENCH_PR4.json so the
+   speedup column is measured against the pre-rewrite trajectory, not a
+   re-run (the old code no longer exists in this tree).  The extractor
+   is a targeted scan, not a JSON parser: it finds the record by its
+   literal anchor text and reads the float after the field key. *)
+let find_sub (s : string) (sub : string) (from : int) : int option =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some (i + m)
+    else go (i + 1)
+  in
+  go from
+
+let float_after (s : string) (pos : int) : float =
+  let n = String.length s in
+  let j = ref pos in
+  while
+    !j < n
+    && (match s.[!j] with
+       | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+       | _ -> false)
+  do
+    incr j
+  done;
+  float_of_string (String.sub s pos (!j - pos))
+
+let pr4_median ~(anchor : string) ~(field : string) : float option =
+  let path = "BENCH_PR4.json" in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match find_sub contents anchor 0 with
+    | None -> None
+    | Some p -> (
+      match find_sub contents ("\"" ^ field ^ "\": {\"median_ms\": ") p with
+      | None -> None
+      | Some q -> Some (float_after contents q))
+  end
+
+let e14 () =
+  header "E14  interned symbols + flat sorted sets vs the PR4 data path";
+  (* The PR4 trajectory's indexed workloads, replayed on the rewritten
+     path at 1 domain: the E11 point and label-join queries (150x400
+     labelled graph) and the E5 index+ root fixpoint at 400 documents.
+     Same seeds, same shapes — only the data path changed. *)
+  row "%-16s  %8s  %10s  %10s  %9s  %12s\n" "workload" "result" "ms" "pr4_ms"
+    "speedup" "minor_Mw";
+  let measure name f baseline =
+    let tm, result = timed f in
+    let speedup = Option.map (fun b -> b /. tm.median_ms) baseline in
+    record ~experiment:"e14"
+      ([ ("workload", J_str name); ("result", J_int result);
+         ("domains", J_int 1) ]
+      @ j_timing tm
+      @ (match baseline with
+        | Some b ->
+          [ ("pr4_median_ms", J_num b);
+            ("speedup_vs_pr4", J_num (Option.get speedup)) ]
+        | None -> []));
+    row "%-16s  %8d  %10.3f  %10.3f  %8.1fx  %12.2f\n" name result tm.median_ms
+      (Option.value baseline ~default:Float.nan)
+      (Option.value speedup ~default:Float.nan)
+      (tm.minor_words /. 1e6)
+  in
+  (* The 120k-node graph lives only for this block: it is dropped (and
+     compacted away) before the fixpoint workload so the fixpoint's GC
+     behaviour is measured on its own heap. *)
+  begin
+    let data =
+      Gql_workload.Gen.labelled_graph ~labels:150 ~per_label:400 ~degree:3 ()
+    in
+    let idx = Gql_data.Index.build data in
+    let wg_query build =
+      let cq = Gql_wglog.Eval.compile_query build in
+      fun () ->
+        List.length
+          (Gql_wglog.Eval.query_embeddings ~index:idx ~domains:1 data build cq)
+    in
+    let point =
+      let open Gql_wglog.Ast.Build in
+      let b = create () in
+      let r = entity b "L40" in
+      let v = const b (Gql_data.Value.string "k-16123") in
+      edge b ~label:"key" r v;
+      finish b
+    in
+    let join =
+      let open Gql_wglog.Ast.Build in
+      let b = create () in
+      let a = entity b "L7" in
+      let c = entity b "L8" in
+      edge b ~label:"rel" a c;
+      finish b
+    in
+    measure "e11-point" (wg_query point)
+      (pr4_median ~anchor:"\"experiment\": \"e11\", \"query\": \"point\""
+         ~field:"indexed");
+    measure "e11-label-join" (wg_query join)
+      (pr4_median ~anchor:"\"experiment\": \"e11\", \"query\": \"label-join\""
+         ~field:"indexed")
+  end;
+  Gc.compact ();
+  let root_fixpoint () =
+    let g =
+      Gql_workload.Gen.hyperdocs ~seed:(seed 44) ~fanout:3 ~link_factor:1 400
+    in
+    let p =
+      Gql_lang.Wglog_text.parse_program ~schema:Gql_wglog.Schema.hyperdoc_schema
+        Gql_workload.Queries.q12_src
+    in
+    (Gql_wglog.Eval.run ~domains:1 g p).Gql_wglog.Eval.edges_added
+  in
+  measure "e5-root-400" root_fixpoint
+    (pr4_median ~anchor:"\"experiment\": \"e5\", \"docs\": 400" ~field:"root")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -835,7 +979,7 @@ let micro () =
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13) ]
+    ("e12", e12); ("e13", e13); ("e14", e14) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -867,6 +1011,6 @@ let () =
       (fun name ->
         match List.assoc_opt (String.lowercase_ascii name) all with
         | Some f -> f ()
-        | None -> Printf.eprintf "unknown experiment %s (e1..e13, micro)\n" name)
+        | None -> Printf.eprintf "unknown experiment %s (e1..e14, micro)\n" name)
       names);
-  if json then write_json "BENCH_PR4.json"
+  if json then write_json "BENCH_PR5.json"

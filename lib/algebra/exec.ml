@@ -9,33 +9,56 @@ open Gql_data
 
 type binding = int array
 
-let edge_ok (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint)
+(* [nav_links] is exact by contract, so it answers the bound-pair test
+   for any constraint kind without touching adjacency. *)
+let edge_ok ?(nav : Gql_graph.Homo.nav option)
+    (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint)
     (data : Graph.t) ~src ~dst =
-  match c with
-  | Gql_graph.Homo.Direct p ->
-    List.exists (fun (d, l) -> d = dst && p l) (Graph.out data src)
-  | Gql_graph.Homo.Path rp -> Gql_graph.Regpath.connects rp data.Graph.g ~src ~dst
-  | Gql_graph.Homo.Negated p ->
-    not (List.exists (fun (d, l) -> d = dst && p l) (Graph.out data src))
+  match nav with
+  | Some { Gql_graph.Homo.nav_links = Some links; _ } -> (
+    match c with
+    | Gql_graph.Homo.Direct _ | Gql_graph.Homo.Path _ -> links src dst
+    | Gql_graph.Homo.Negated _ -> not (links src dst))
+  | Some _ | None -> (
+    match c with
+    | Gql_graph.Homo.Direct p ->
+      List.exists (fun (d, l) -> d = dst && p l) (Graph.out data src)
+    | Gql_graph.Homo.Path rp -> Gql_graph.Regpath.connects rp data.Graph.g ~src ~dst
+    | Gql_graph.Homo.Negated p ->
+      not (List.exists (fun (d, l) -> d = dst && p l) (Graph.out data src)))
 
-(* Forward expansion candidates from [src]. *)
-let expand_candidates (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint)
+(* Forward expansion candidates from [src].  An *exact* nav replaces the
+   adjacency filter with a posting-set lookup; supersets are refused
+   here because [Expand] does not re-check the edge constraint. *)
+let expand_candidates ?(nav : Gql_graph.Homo.nav option)
+    (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint)
     (data : Graph.t) ~(dir : Plan.edge_dir) (from : int) : int list =
-  match c, dir with
-  | Gql_graph.Homo.Direct p, Plan.Forward ->
-    List.filter_map (fun (d, l) -> if p l then Some d else None) (Graph.out data from)
-  | Gql_graph.Homo.Direct p, Plan.Backward ->
-    List.filter_map (fun (s, l) -> if p l then Some s else None) (Graph.inn data from)
-  | Gql_graph.Homo.Path rp, Plan.Forward ->
-    Gql_graph.Regpath.reachable rp data.Graph.g from
-  | Gql_graph.Homo.Path rp, Plan.Backward ->
-    (* Reverse regular path: scan sources whose forward reachability hits
-       [from].  Used rarely (deep edges are normally traversed forward);
-       cost is bounded by candidate filtering in the planner. *)
-    List.filter
-      (fun s -> Gql_graph.Regpath.connects rp data.Graph.g ~src:s ~dst:from)
-      (List.init (Graph.n_nodes data) Fun.id)
-  | Gql_graph.Homo.Negated _, _ -> invalid_arg "cannot expand a negated edge"
+  let nav_enum =
+    match nav with
+    | Some n when n.Gql_graph.Homo.nav_exact -> (
+      match dir with
+      | Plan.Forward -> n.Gql_graph.Homo.nav_out
+      | Plan.Backward -> n.Gql_graph.Homo.nav_in)
+    | Some _ | None -> None
+  in
+  match nav_enum with
+  | Some enum -> Gql_graph.Iset.to_list (enum from)
+  | None -> (
+    match c, dir with
+    | Gql_graph.Homo.Direct p, Plan.Forward ->
+      List.filter_map (fun (d, l) -> if p l then Some d else None) (Graph.out data from)
+    | Gql_graph.Homo.Direct p, Plan.Backward ->
+      List.filter_map (fun (s, l) -> if p l then Some s else None) (Graph.inn data from)
+    | Gql_graph.Homo.Path rp, Plan.Forward ->
+      Gql_graph.Regpath.reachable rp data.Graph.g from
+    | Gql_graph.Homo.Path rp, Plan.Backward ->
+      (* Reverse regular path: scan sources whose forward reachability hits
+         [from].  Used rarely (deep edges are normally traversed forward);
+         cost is bounded by candidate filtering in the planner. *)
+      List.filter
+        (fun s -> Gql_graph.Regpath.connects rp data.Graph.g ~src:s ~dst:from)
+        (List.init (Graph.n_nodes data) Fun.id)
+    | Gql_graph.Homo.Negated _, _ -> invalid_arg "cannot expand a negated edge")
 
 let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option)
     ?domains (data : Graph.t)
@@ -62,11 +85,11 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
       match indexed with
       | Some cands ->
         (* index candidates are sorted ascending, like the scan below *)
-        let arr = Array.of_list cands in
-        Gql_graph.Par.map_chunks ~domains ~n:(Array.length arr) (fun lo hi ->
+        Gql_graph.Par.map_chunks ~domains ~n:(Gql_graph.Iset.length cands)
+          (fun lo hi ->
             let out = ref [] in
             for i = hi - 1 downto lo do
-              let n = arr.(i) in
+              let n = Gql_graph.Iset.get cands i in
               if node_pred var n then begin
                 let b = Array.make k (-1) in
                 b.(var) <- n;
@@ -87,13 +110,13 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
             done;
             !out)
         |> List.concat)
-    | Plan.Expand { input; src; dst; dir; cons; _ } ->
+    | Plan.Expand { input; src; dst; dir; cons; nav; _ } ->
       Gql_graph.Par.concat_map_chunks ~domains
         (fun b ->
           let from = b.(src) in
           if from < 0 then []
           else
-            expand_candidates cons data ~dir from
+            expand_candidates ?nav cons data ~dir from
             |> List.filter_map (fun cand ->
                    if node_pred dst cand then begin
                      let b' = Array.copy b in
@@ -102,9 +125,9 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
                    end
                    else None))
         (eval input)
-    | Plan.Edge_check { input; src; dst; cons; _ } ->
+    | Plan.Edge_check { input; src; dst; cons; nav; _ } ->
       List.filter
-        (fun b -> edge_ok cons data ~src:b.(src) ~dst:b.(dst))
+        (fun b -> edge_ok ?nav cons data ~src:b.(src) ~dst:b.(dst))
         (eval input)
     | Plan.Cross (a, b) ->
       let lefts = eval a and rights = eval b in
@@ -127,7 +150,7 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
     [Gql_xmlgl.Matching.run] returns, so results are comparable). *)
 let run_xmlgl ?strategy ?index ?domains (data : Graph.t)
     (q : Gql_xmlgl.Ast.query) : int array list =
-  let compiled = Gql_xmlgl.Matching.compile data q in
+  let compiled = Gql_xmlgl.Matching.compile ?index data q in
   let job = Planner.job_of_xmlgl ?index compiled in
   let plan = Planner.build ?strategy data job in
   List.map
@@ -138,6 +161,6 @@ let run_xmlgl ?strategy ?index ?domains (data : Graph.t)
 (** The plan text for an XML-GL query — EXPLAIN. *)
 let explain_xmlgl ?strategy ?index (data : Graph.t) (q : Gql_xmlgl.Ast.query) :
     string =
-  let compiled = Gql_xmlgl.Matching.compile data q in
+  let compiled = Gql_xmlgl.Matching.compile ?index data q in
   let job = Planner.job_of_xmlgl ?index compiled in
   Plan.to_string (Planner.build ?strategy data job)

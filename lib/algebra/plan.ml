@@ -23,6 +23,10 @@ type t =
       dst : int;  (** newly bound *)
       dir : edge_dir;
       cons : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint;
+      nav : Gql_graph.Homo.nav option;
+          (** index navigation for this edge; the executor enumerates
+              through it only when [nav_exact] (supersets would need the
+              re-check [Expand] doesn't do) *)
       label : string;
     }
   | Edge_check of {
@@ -30,6 +34,8 @@ type t =
       src : int;
       dst : int;
       cons : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint;
+      nav : Gql_graph.Homo.nav option;
+          (** [nav_links], when present, replaces the adjacency scan *)
       label : string;
     }  (** both endpoints bound: filter *)
   | Cross of t * t  (** disconnected components *)

@@ -34,8 +34,13 @@ let cons_label (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint
   | Gql_graph.Homo.Negated _ -> "negated"
 
 (** Candidate-count estimates.  With an index-backed provider, a node's
-    count comes from its (much smaller) candidate list; the whole-graph
-    pass only covers nodes the provider cannot answer for. *)
+    count is the O(1) length of its posting set (an unfiltered sorted
+    superset — close enough for join ordering, and free).  Nodes the
+    provider cannot answer for are counted by scan, but each scan stops
+    as soon as its count passes the best (smallest) score seen so far
+    plus one: the planner only needs to know such a node is *not* the
+    most selective, so planning cost no longer scales with the largest
+    candidate list. *)
 let estimates ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option)
     (data : Graph.t) (pat : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern) :
     int array =
@@ -50,20 +55,25 @@ let estimates ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider
       | None -> ()
       | Some cands ->
         need_scan.(v) <- false;
-        counts.(v) <-
-          List.length
-            (List.filter
-               (fun n -> pat.Gql_graph.Homo.p_nodes.(v) n (Graph.kind data n))
-               cands)
+        counts.(v) <- Gql_graph.Iset.length cands
     done);
-  if Array.exists Fun.id need_scan then
-    for n = 0 to Graph.n_nodes data - 1 do
-      let kind = Graph.kind data n in
-      for v = 0 to k - 1 do
-        if need_scan.(v) && pat.Gql_graph.Homo.p_nodes.(v) n kind then
-          counts.(v) <- counts.(v) + 1
-      done
-    done;
+  if Array.exists Fun.id need_scan then begin
+    let best = ref max_int in
+    Array.iteri (fun v c -> if not need_scan.(v) then best := min !best c) counts;
+    let n_data = Graph.n_nodes data in
+    for v = 0 to k - 1 do
+      if need_scan.(v) then begin
+        let cap = if !best = max_int then max_int else !best + 1 in
+        let c = ref 0 and n = ref 0 in
+        while !c < cap && !n < n_data do
+          if pat.Gql_graph.Homo.p_nodes.(v) !n (Graph.kind data !n) then incr c;
+          incr n
+        done;
+        counts.(v) <- !c;
+        best := min !best !c
+      end
+    done
+  end;
   counts
 
 let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
@@ -75,22 +85,31 @@ let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
     | `Greedy -> estimates ?provider:job.provider data pat
     | `Fixed -> Array.make k 0
   in
-  (* Positive adjacency with constraints. *)
+  (* The provider's per-edge navigation (p_edges order) rides along on
+     Expand/Edge_check so the executor can enumerate and test through
+     the index. *)
+  let nav_of =
+    match job.provider with
+    | Some prov -> prov.Gql_graph.Homo.prov_nav
+    | None -> fun _ -> None
+  in
+  (* Positive adjacency with constraints, keyed by p_edges position. *)
+  let indexed_edges = List.mapi (fun i e -> (i, e)) pat.Gql_graph.Homo.p_edges in
   let pos_edges =
     List.filter
-      (fun (_, c, _) ->
+      (fun (_, (_, c, _)) ->
         match c with
         | Gql_graph.Homo.Negated _ -> false
         | Gql_graph.Homo.Direct _ | Gql_graph.Homo.Path _ -> true)
-      pat.Gql_graph.Homo.p_edges
+      indexed_edges
   in
   let neg_edges =
     List.filter
-      (fun (_, c, _) ->
+      (fun (_, (_, c, _)) ->
         match c with
         | Gql_graph.Homo.Negated _ -> true
         | Gql_graph.Homo.Direct _ | Gql_graph.Homo.Path _ -> false)
-      pat.Gql_graph.Homo.p_edges
+      indexed_edges
   in
   let bound = Array.make k false in
   let used = Array.make (List.length pos_edges) false in
@@ -107,7 +126,7 @@ let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
         if not bound.(v) then begin
           let connected =
             Array.exists
-              (fun (a, _, b) -> (bound.(a) && b = v) || (bound.(b) && a = v))
+              (fun (_, (a, _, b)) -> (bound.(a) && b = v) || (bound.(b) && a = v))
               pos_arr
           in
           let score = if connected then est.(v) else est.(v) + 1_000_000 in
@@ -123,15 +142,15 @@ let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
   let connecting_edge v =
     let found = ref None in
     Array.iteri
-      (fun i (a, c, b) ->
+      (fun i (ei, (a, c, b)) ->
         if !found = None && not used.(i) then
           if bound.(a) && b = v then begin
             used.(i) <- true;
-            found := Some (a, c, b, Plan.Forward)
+            found := Some (a, c, b, Plan.Forward, nav_of ei)
           end
           else if bound.(b) && a = v then begin
             used.(i) <- true;
-            found := Some (b, c, a, Plan.Backward)
+            found := Some (b, c, a, Plan.Backward, nav_of ei)
           end)
       pos_arr;
     !found
@@ -140,10 +159,10 @@ let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
   let pending_checks () =
     let acc = ref [] in
     Array.iteri
-      (fun i (a, c, b) ->
+      (fun i (ei, (a, c, b)) ->
         if (not used.(i)) && bound.(a) && bound.(b) then begin
           used.(i) <- true;
-          acc := (a, c, b) :: !acc
+          acc := (a, c, b, nav_of ei) :: !acc
         end)
       pos_arr;
     List.rev !acc
@@ -155,17 +174,19 @@ let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
       let v = pick_next () in
       let plan =
         match connecting_edge v with
-        | Some (src, c, dst, dir) ->
+        | Some (src, c, dst, dir, nav) ->
           bound.(v) <- true;
-          Plan.Expand { input = plan; src; dst; dir; cons = c; label = cons_label c }
+          Plan.Expand
+            { input = plan; src; dst; dir; cons = c; nav; label = cons_label c }
         | None ->
           bound.(v) <- true;
           Plan.Cross (plan, Plan.Scan { var = v; label = label_of v })
       in
       let plan =
         List.fold_left
-          (fun plan (a, c, b) ->
-            Plan.Edge_check { input = plan; src = a; dst = b; cons = c; label = cons_label c })
+          (fun plan (a, c, b, nav) ->
+            Plan.Edge_check
+              { input = plan; src = a; dst = b; cons = c; nav; label = cons_label c })
           plan (pending_checks ())
       in
       grow plan
@@ -177,8 +198,10 @@ let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
   (* Negated edges as filters. *)
   let plan =
     List.fold_left
-      (fun plan (a, c, b) ->
-        Plan.Edge_check { input = plan; src = a; dst = b; cons = c; label = "negated" })
+      (fun plan (ei, (a, c, b)) ->
+        Plan.Edge_check
+          { input = plan; src = a; dst = b; cons = c; nav = nav_of ei;
+            label = "negated" })
       plan neg_edges
   in
   (* Residual filters. *)

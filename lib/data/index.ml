@@ -1,28 +1,40 @@
 (** Frozen indexes over a data graph.
 
-    One [build] pass snapshots the graph into a {!Gql_graph.Csr} view
-    and derives the access paths every engine's matcher wants instead of
-    whole-graph scans:
+    One [build] pass snapshots the graph into a {!Gql_graph.Csr} view,
+    interns every node label and edge name into a snapshot-local
+    {!Symtab}, and derives the access paths every engine's matcher wants
+    instead of whole-graph scans:
 
-    - [by_label]: label -> complex nodes (sorted), the entry point for
-      typed pattern nodes;
+    - [by_label]: label symbol -> complex nodes ({!Gql_graph.Iset.t}),
+      the entry point for typed pattern nodes;
     - [by_value]: normalised atom value -> atom nodes, for constant
       rectangles and value point-lookups (normalisation follows
       [Value.compare_values]: numeric when the value coerces, textual
       otherwise, so ["12"], [12] and [12.0] share a bucket);
-    - per-node adjacency partitioned by edge name ([out_named] /
+    - per-node adjacency partitioned by edge-name symbol ([out_named] /
       [in_named]), by [Attribute] kind and name ([attr_named]), by
       [Child] kind ([children] / [parents]) and by [Ref]/[Rel] kind
       ([ref_succ] / [ref_pred]), so a labelled edge constraint
       enumerates only matching neighbours;
-    - [edges_named]: name -> all (src, dst) pairs, for the WG-Log
-      evaluator's globally negated edges.
+    - [edges_named]: name symbol -> all (src, dst) pairs, for the WG-Log
+      evaluator's globally negated edges;
+    - a per-node interned label plane on the CSR view
+      ([Csr.set_node_syms]), so "is this node labelled X?" is one
+      integer compare against a symbol resolved once per query.
 
-    All candidate arrays are sorted ascending, which makes the indexed
-    matcher enumerate embeddings in exactly the order of the scan-based
-    one.  The index is a snapshot: [refresh] on a {!cache} rebuilds it
-    only when the graph has grown (the data graph is append-only; node
-    payloads are never mutated after construction). *)
+    All posting sets are sorted ascending and duplicate-free, which
+    makes the indexed matcher enumerate embeddings in exactly the order
+    of the scan-based one.  Per-node name-partitioned adjacency is keyed
+    by the single integer [node * stride + name_sym], so a lookup hashes
+    one immediate int and allocates nothing.
+
+    Symbols are snapshot-local: ids from one build must never be
+    compared with ids (or used against postings) of another.  The index
+    is a snapshot: [refresh] on a {!cache} rebuilds it only when the
+    graph has grown (the data graph is append-only; node payloads are
+    never mutated after construction). *)
+
+module Iset = Gql_graph.Iset
 
 type vkey =
   | Num of float
@@ -38,28 +50,30 @@ type t = {
   data : Graph.t;
   csr : (Graph.node_kind, Graph.edge) Gql_graph.Csr.t;
   version : int * int;  (** (n_nodes, n_edges) at build time *)
-  by_label : (string, int array) Hashtbl.t;
-  by_value : (vkey, int array) Hashtbl.t;
-  all_complex : int array;
-  all_atoms : int array;
-  out_by_name : (int * string, int array) Hashtbl.t;
-  in_by_name : (int * string, int array) Hashtbl.t;
-  attr_out : (int * string, int array) Hashtbl.t;
-  child_out : int array array;
-  child_in : int array array;
-  ref_out : int array array;
-  ref_in : int array array;
-  edges_by_name : (string, (int * int) array) Hashtbl.t;
+  symtab : Symtab.t;
+  stride : int;  (** symtab length at build end; adjacency key stride *)
+  by_label : (int, Iset.t) Hashtbl.t;  (** label sym -> complex nodes *)
+  by_value : (vkey, Iset.t) Hashtbl.t;
+  all_complex : Iset.t;
+  all_atoms : Iset.t;
+  out_by_name : (int, Iset.t) Hashtbl.t;  (** node * stride + name sym *)
+  in_by_name : (int, Iset.t) Hashtbl.t;
+  attr_out : (int, Iset.t) Hashtbl.t;
+  child_out : Iset.t array;
+  child_in : Iset.t array;
+  ref_out : Iset.t array;
+  ref_in : Iset.t array;
+  edges_by_name : (int, (int * int) array) Hashtbl.t;  (** name sym *)
 }
-
-let empty_arr : int array = [||]
 
 let build (data : Graph.t) : t =
   let csr = Gql_graph.Csr.freeze data.Graph.g in
   let n = Gql_graph.Csr.n_nodes csr in
-  let by_label_l : (string, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  let symtab = Symtab.create () in
+  let by_label_l : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
   let by_value_l : (vkey, int list ref) Hashtbl.t = Hashtbl.create 256 in
   let complex_l = ref [] and atoms_l = ref [] in
+  let node_syms = Array.make n (-1) in
   let bucket tbl key v =
     match Hashtbl.find_opt tbl key with
     | Some r -> r := v :: !r
@@ -68,62 +82,74 @@ let build (data : Graph.t) : t =
   for i = n - 1 downto 0 do
     match Gql_graph.Csr.payload csr i with
     | Graph.Complex l ->
-      bucket by_label_l l i;
+      let sym = Symtab.intern symtab l in
+      node_syms.(i) <- sym;
+      bucket by_label_l sym i;
       complex_l := i :: !complex_l
     | Graph.Atom v ->
       bucket by_value_l (vkey v) i;
       atoms_l := i :: !atoms_l
   done;
-  let out_name_l : (int * string, int list ref) Hashtbl.t = Hashtbl.create (4 * n) in
-  let in_name_l : (int * string, int list ref) Hashtbl.t = Hashtbl.create (4 * n) in
-  let attr_l : (int * string, int list ref) Hashtbl.t = Hashtbl.create n in
-  let edges_name_l : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  Gql_graph.Csr.set_node_syms csr node_syms;
+  (* Adjacency accumulation keyed by (node, name sym) tuples; re-keyed
+     below to [node * stride + sym] once the symbol table is final. *)
+  let out_name_l : (int * int, int list ref) Hashtbl.t = Hashtbl.create (4 * n) in
+  let in_name_l : (int * int, int list ref) Hashtbl.t = Hashtbl.create (4 * n) in
+  let attr_l : (int * int, int list ref) Hashtbl.t = Hashtbl.create n in
+  let edges_name_l : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
   let child_out_l = Array.make n [] and child_in_l = Array.make n [] in
   let ref_out_l = Array.make n [] and ref_in_l = Array.make n [] in
   Gql_graph.Csr.iter_edges
     (fun ~src ~dst (e : Graph.edge) ->
-      bucket out_name_l (src, e.Graph.name) dst;
-      bucket in_name_l (dst, e.Graph.name) src;
-      bucket edges_name_l e.Graph.name (src, dst);
+      let nsym = Symtab.intern symtab e.Graph.name in
+      bucket out_name_l (src, nsym) dst;
+      bucket in_name_l (dst, nsym) src;
+      bucket edges_name_l nsym (src, dst);
       match e.Graph.kind with
       | Graph.Child ->
         child_out_l.(src) <- dst :: child_out_l.(src);
         child_in_l.(dst) <- src :: child_in_l.(dst)
-      | Graph.Attribute -> bucket attr_l (src, e.Graph.name) dst
+      | Graph.Attribute -> bucket attr_l (src, nsym) dst
       | Graph.Ref | Graph.Rel ->
         ref_out_l.(src) <- dst :: ref_out_l.(src);
         ref_in_l.(dst) <- src :: ref_in_l.(dst))
     csr;
-  let int_cmp (a : int) (b : int) = compare a b in
-  let finish_int tbl src =
+  let stride = max 1 (Symtab.length symtab) in
+  let finish_syms tbl src =
+    (* node-label buckets: one entry per node, no duplicates possible *)
     Hashtbl.iter
-      (fun key r ->
-        let a = Array.of_list !r in
-        if Array.length a > 1 then Array.sort int_cmp a;
-        Hashtbl.replace tbl key a)
+      (fun key r -> Hashtbl.replace tbl key (Iset.of_array (Array.of_list !r)))
       src;
     tbl
   in
-  let sorted_arr l =
-    let a = Array.of_list l in
-    if Array.length a > 1 then Array.sort int_cmp a;
-    a
+  let finish_adj src =
+    (* parallel edges can repeat a neighbour; [Iset.of_array] dedups *)
+    let out = Hashtbl.create (Hashtbl.length src) in
+    Hashtbl.iter
+      (fun (node, nsym) r ->
+        Hashtbl.replace out ((node * stride) + nsym)
+          (Iset.of_array (Array.of_list !r)))
+      src;
+    out
   in
+  let adj_sets l = Array.map (fun lst -> Iset.of_array (Array.of_list lst)) l in
   {
     data;
     csr;
     version = (Graph.n_nodes data, Graph.n_edges data);
-    by_label = finish_int (Hashtbl.create (Hashtbl.length by_label_l)) by_label_l;
-    by_value = finish_int (Hashtbl.create (Hashtbl.length by_value_l)) by_value_l;
-    all_complex = Array.of_list !complex_l;
-    all_atoms = Array.of_list !atoms_l;
-    out_by_name = finish_int (Hashtbl.create (Hashtbl.length out_name_l)) out_name_l;
-    in_by_name = finish_int (Hashtbl.create (Hashtbl.length in_name_l)) in_name_l;
-    attr_out = finish_int (Hashtbl.create (Hashtbl.length attr_l)) attr_l;
-    child_out = Array.map sorted_arr child_out_l;
-    child_in = Array.map sorted_arr child_in_l;
-    ref_out = Array.map sorted_arr ref_out_l;
-    ref_in = Array.map sorted_arr ref_in_l;
+    symtab;
+    stride;
+    by_label = finish_syms (Hashtbl.create (Hashtbl.length by_label_l)) by_label_l;
+    by_value = finish_syms (Hashtbl.create (Hashtbl.length by_value_l)) by_value_l;
+    all_complex = Iset.unsafe_of_sorted_array (Array.of_list !complex_l);
+    all_atoms = Iset.unsafe_of_sorted_array (Array.of_list !atoms_l);
+    out_by_name = finish_adj out_name_l;
+    in_by_name = finish_adj in_name_l;
+    attr_out = finish_adj attr_l;
+    child_out = adj_sets child_out_l;
+    child_in = adj_sets child_in_l;
+    ref_out = adj_sets ref_out_l;
+    ref_in = adj_sets ref_in_l;
     edges_by_name =
       (let out = Hashtbl.create (Hashtbl.length edges_name_l) in
        Hashtbl.iter
@@ -142,112 +168,157 @@ let graph t = t.data
 let n_nodes t = fst t.version
 let n_edges t = snd t.version
 
-let find_arr tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:empty_arr
+(** The snapshot's symbol table (labels and edge names). *)
+let symtab t = t.symtab
+
+(** Interned label symbol of node [n]; [-1] for atoms.  One integer
+    compare against [label_sym] answers a typed-node test. *)
+let node_sym t n = Gql_graph.Csr.node_sym t.csr n
+
+(** The symbol of label/name [s] in this snapshot, or [-1] when nothing
+    in the snapshot carries it (so no node/edge can match). *)
+let label_sym t s = match Symtab.find t.symtab s with Some i -> i | None -> -1
+
+let find_set tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:Iset.empty
+
+(** Complex nodes carrying label symbol [sym], sorted. *)
+let complex_with_sym t sym : Iset.t =
+  if sym < 0 then Iset.empty else find_set t.by_label sym
 
 (** Complex nodes carrying label [l], sorted. *)
-let complex_with_label t l = find_arr t.by_label l
+let complex_with_label t l : Iset.t = complex_with_sym t (label_sym t l)
 
 (** Complex nodes whose label satisfies [p] — one test per *distinct*
     label, not per node (this is how regex name tests scale). *)
-let complex_matching t p : int list =
-  Hashtbl.fold
-    (fun l nodes acc -> if p l then List.rev_append (Array.to_list nodes) acc else acc)
-    t.by_label []
-  |> List.sort compare
+let complex_matching t p : Iset.t =
+  let parts =
+    Hashtbl.fold
+      (fun sym nodes acc ->
+        if p (Symtab.name t.symtab sym) then nodes :: acc else acc)
+      t.by_label []
+  in
+  match parts with
+  | [] -> Iset.empty
+  | [ s ] -> s
+  | parts -> List.fold_left Iset.union Iset.empty parts
 
 (** Atom nodes equal (in the [Value.equal_values] sense) to [v]. *)
-let atoms_equal t v = find_arr t.by_value (vkey v)
+let atoms_equal t v : Iset.t = find_set t.by_value (vkey v)
 
 let all_complex t = t.all_complex
 let all_atoms t = t.all_atoms
-let labels t = Hashtbl.fold (fun l _ acc -> l :: acc) t.by_label [] |> List.sort compare
 
-let out_named t n name = find_arr t.out_by_name (n, name)
-let in_named t n name = find_arr t.in_by_name (n, name)
-let attr_named t n name = find_arr t.attr_out (n, name)
+let labels t =
+  Hashtbl.fold (fun sym _ acc -> Symtab.name t.symtab sym :: acc) t.by_label []
+  |> List.sort compare
+
+(* name-partitioned adjacency, keyed by one immediate int *)
+let adj_named tbl t n sym : Iset.t =
+  if sym < 0 then Iset.empty else find_set tbl ((n * t.stride) + sym)
+
+let out_named_sym t n sym = adj_named t.out_by_name t n sym
+let in_named_sym t n sym = adj_named t.in_by_name t n sym
+let attr_named_sym t n sym = adj_named t.attr_out t n sym
+let out_named t n name = out_named_sym t n (label_sym t name)
+let in_named t n name = in_named_sym t n (label_sym t name)
+let attr_named t n name = attr_named_sym t n (label_sym t name)
 let children t n = t.child_out.(n)
 let parents t n = t.child_in.(n)
 let ref_succ t n = t.ref_out.(n)
 let ref_pred t n = t.ref_in.(n)
+
 let edges_named t name : (int * int) array =
-  Option.value (Hashtbl.find_opt t.edges_by_name name) ~default:[||]
+  match Symtab.find t.symtab name with
+  | None -> [||]
+  | Some sym -> Option.value (Hashtbl.find_opt t.edges_by_name sym) ~default:[||]
 
 (** O(1) total degree, for the matcher's fail-first scorer. *)
 let degree t n = Gql_graph.Csr.degree t.csr n
 
-let mem_arr (a : int array) x =
-  (* adjacency slices are small; linear scan beats binary search setup *)
-  let rec go i = i < Array.length a && (a.(i) = x || go (i + 1)) in
-  go 0
-
 (* --- Homo navigation builders ---------------------------------------- *)
 
-let list_of a = Array.to_list a
+(* Navs resolve their name symbol once at construction, not per hop. *)
 
 (** Edges named [name], any kind — exactly WG-Log's label semantics, so
-    [nav_links] is exact. *)
+    the nav is exact. *)
 let nav_name t name : Gql_graph.Homo.nav =
+  let sym = label_sym t name in
   {
-    nav_out = Some (fun n -> list_of (out_named t n name));
-    nav_in = Some (fun n -> list_of (in_named t n name));
-    nav_links = Some (fun src dst -> mem_arr (out_named t src name) dst);
+    nav_out = Some (fun n -> out_named_sym t n sym);
+    nav_in = Some (fun n -> in_named_sym t n sym);
+    nav_links = Some (fun src dst -> Iset.mem (out_named_sym t src sym) dst);
+    nav_exact = true;
   }
 
 (** [Child]-kind edges, any name.  Exact for unpositioned containment. *)
 let nav_child t : Gql_graph.Homo.nav =
   {
-    nav_out = Some (fun n -> list_of (children t n));
-    nav_in = Some (fun n -> list_of (parents t n));
-    nav_links = Some (fun src dst -> mem_arr (children t src) dst);
+    nav_out = Some (fun n -> children t n);
+    nav_in = Some (fun n -> parents t n);
+    nav_links = Some (fun src dst -> Iset.mem (children t src) dst);
+    nav_exact = true;
   }
 
 (** [Child]-kind edges used only for candidate enumeration (a superset):
     positioned containment re-checks the ordinal via the constraint. *)
 let nav_child_superset t : Gql_graph.Homo.nav =
   {
-    nav_out = Some (fun n -> list_of (children t n));
-    nav_in = Some (fun n -> list_of (parents t n));
+    nav_out = Some (fun n -> children t n);
+    nav_in = Some (fun n -> parents t n);
     nav_links = None;
+    nav_exact = false;
   }
 
 (** [Attribute]-kind edges named [name].  Exact on the forward direction
     and the link test; reverse lookups fall back to the scan. *)
 let nav_attr t name : Gql_graph.Homo.nav =
+  let sym = label_sym t name in
   {
-    nav_out = Some (fun n -> list_of (attr_named t n name));
+    nav_out = Some (fun n -> attr_named_sym t n sym);
     nav_in = None;
-    nav_links = Some (fun src dst -> mem_arr (attr_named t src name) dst);
+    nav_links = Some (fun src dst -> Iset.mem (attr_named_sym t src sym) dst);
+    nav_exact = true;
   }
 
 (** [Ref]/[Rel]-kind edges, any name — exact. *)
 let nav_ref t : Gql_graph.Homo.nav =
   {
-    nav_out = Some (fun n -> list_of (ref_succ t n));
-    nav_in = Some (fun n -> list_of (ref_pred t n));
-    nav_links = Some (fun src dst -> mem_arr (ref_succ t src) dst);
+    nav_out = Some (fun n -> ref_succ t n);
+    nav_in = Some (fun n -> ref_pred t n);
+    nav_links = Some (fun src dst -> Iset.mem (ref_succ t src) dst);
+    nav_exact = true;
   }
 
 (** [Ref]/[Rel] edges named [name]: name-partitioned supersets for
     enumeration (the name table ignores kind), exact checks deferred. *)
 let nav_ref_named t name : Gql_graph.Homo.nav =
+  let sym = label_sym t name in
   {
-    nav_out = Some (fun n -> list_of (out_named t n name));
-    nav_in = Some (fun n -> list_of (in_named t n name));
+    nav_out = Some (fun n -> out_named_sym t n sym);
+    nav_in = Some (fun n -> in_named_sym t n sym);
     nav_links = None;
+    nav_exact = false;
   }
 
 (** Regular-path navigation over the frozen view. *)
 let nav_path t (rp : Graph.edge Gql_graph.Regpath.t) : Gql_graph.Homo.nav =
   {
-    nav_out = Some (fun n -> Gql_graph.Regpath.reachable_frozen rp t.csr n);
+    nav_out =
+      Some
+        (fun n ->
+          (* reachable_frozen returns a sorted duplicate-free list *)
+          Iset.unsafe_of_sorted_array
+            (Array.of_list (Gql_graph.Regpath.reachable_frozen rp t.csr n)));
     nav_in = None;
     nav_links = Some (fun src dst -> Gql_graph.Regpath.connects_frozen rp t.csr ~src ~dst);
+    nav_exact = true;
   }
 
-(** Assemble a provider from per-pattern-node candidates and per-edge
-    navigation (both indexed by pattern position / [p_edges] order). *)
+(** Assemble a provider from per-pattern-node candidate sets and
+    per-edge navigation (both indexed by pattern position / [p_edges]
+    order). *)
 let provider ?(navs : Gql_graph.Homo.nav option array = [||]) t
-    ~(candidates : int -> int list option) :
+    ~(candidates : int -> Iset.t option) :
     (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider =
   {
     Gql_graph.Homo.prov_candidates = candidates;

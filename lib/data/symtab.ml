@@ -1,0 +1,65 @@
+(** Snapshot-local string interning.
+
+    Every frozen {!Index} owns one symbol table mapping the strings the
+    data path compares in its hot loops — node labels and edge names —
+    to dense integer ids, so candidate tests become integer compares and
+    postings can be keyed by id.  Ids are *snapshot-local*: a table is
+    built alongside its index (and rebuilt with it on a [gql serve]
+    reload), and ids from different snapshots must never be compared —
+    the same label can intern to different ids in different builds.
+
+    Interning is mutex-protected so pool workers touching a snapshot
+    while another thread is still interning (a reload racing a late
+    query) stay safe; the read side ([name]) is lock-free because the
+    backing store is append-only and [resolve]/[intern] publish a fully
+    written array before bumping [len]. *)
+
+type t = {
+  lock : Mutex.t;
+  tbl : (string, int) Hashtbl.t;
+  mutable names : string array;  (** id -> string; grows by doubling *)
+  mutable len : int;
+}
+
+let create ?(size = 64) () : t =
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create size;
+    names = Array.make (max 1 size) "";
+    len = 0;
+  }
+
+let length t = t.len
+
+(** The id of [s], minting a fresh one on first sight.  Thread-safe. *)
+let intern (t : t) (s : string) : int =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl s with
+      | Some id -> id
+      | None ->
+        let id = t.len in
+        if id = Array.length t.names then begin
+          let bigger = Array.make (2 * id) "" in
+          Array.blit t.names 0 bigger 0 id;
+          t.names <- bigger
+        end;
+        t.names.(id) <- s;
+        t.len <- id + 1;
+        Hashtbl.replace t.tbl s id;
+        id)
+
+(** The id of [s] if it was ever interned — the query-side lookup.  A
+    miss means no node/edge in the snapshot carries the string, so a
+    query naming it can only match the empty set. *)
+let find (t : t) (s : string) : int option =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.tbl s)
+
+(** The string behind [id].  Ids come from this table, so out-of-range
+    is a programming error. *)
+let name (t : t) (id : int) : string =
+  if id < 0 || id >= t.len then invalid_arg "Symtab.name: unknown id";
+  t.names.(id)
+
+(** All interned strings in id order (a build-order snapshot). *)
+let to_array (t : t) : string array =
+  Mutex.protect t.lock (fun () -> Array.sub t.names 0 t.len)

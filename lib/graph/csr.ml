@@ -21,6 +21,11 @@ type ('n, 'e) t = {
   in_off : int array;
   in_src : int array;
   in_lab : 'e array;
+  mutable node_syms : int array;
+      (** per-node interned label ids ([Gql_data.Symtab] ids, [-1] for
+          nodes without a label); empty until an index build attaches
+          them via {!set_node_syms}.  Ids are snapshot-local: valid only
+          against the symbol table of the index that set them. *)
 }
 
 type node = Digraph.node
@@ -28,6 +33,18 @@ type node = Digraph.node
 let n_nodes t = Array.length t.payloads
 let n_edges t = Array.length t.out_dst
 let payload t n = t.payloads.(n)
+
+(** Attach per-node interned label ids (length must be [n_nodes]). *)
+let set_node_syms t (syms : int array) =
+  if Array.length syms <> Array.length t.payloads then
+    invalid_arg "Csr.set_node_syms: length mismatch";
+  t.node_syms <- syms
+
+(** The interned label id of [n], or [-1] when no plane is attached or
+    the node carries no label — so a single integer compare answers
+    "is this a complex node with label X?". *)
+let node_sym t n =
+  if Array.length t.node_syms = 0 then -1 else t.node_syms.(n)
 
 (* O(1) degrees — the point of the exercise. *)
 let out_degree t n = t.out_off.(n + 1) - t.out_off.(n)
@@ -97,6 +114,7 @@ let freeze (g : ('n, 'e) Digraph.t) : ('n, 'e) t =
       in_off;
       in_src = [||];
       in_lab = [||];
+      node_syms = [||];
     }
   else begin
     let some_label =
@@ -123,5 +141,6 @@ let freeze (g : ('n, 'e) Digraph.t) : ('n, 'e) t =
           in_lab.(in_off.(i) + k) <- l)
         (Digraph.pred g i)
     done;
-    { payloads; out_off; out_dst; out_lab; in_off; in_src; in_lab }
+    { payloads; out_off; out_dst; out_lab; in_off; in_src; in_lab;
+      node_syms = [||] }
   end

@@ -11,10 +11,13 @@
     The search is backtracking with the standard optimisations that keep
     the paper's example queries interactive on 100k-node databases:
     - once part of the pattern is bound, candidates for a node connected
-      to the bound region come from *adjacency* of the bound neighbour,
-      never from a global scan;
-    - global candidate lists (needed to start each connected component)
-      are computed lazily and memoised;
+      to the bound region come from *adjacency* of the bound neighbours —
+      the sorted sets contributed by every incident bound edge are
+      intersected smallest-first ({!Iset.inter_many}), never scanned
+      per-element;
+    - global candidate sets (needed to start each connected component)
+      are computed lazily and memoised as {!Iset.t}, so their size is
+      O(1) for the fail-first scorer;
     - the next node to bind is chosen fail-first: connected nodes are
       scored by their bound neighbour's degree, unconnected ones by their
       global candidate count.
@@ -42,16 +45,20 @@ type embedding = int array
 
 (** Per-pattern-edge index navigation.  [nav_out n] enumerates candidate
     endpoints reached from [n] along the edge (and [nav_in] the reverse
-    direction); both may return a *superset* of the truly matching
-    neighbours — the search re-checks node predicates and edge
-    constraints on every binding, so supersets only cost time, never
-    correctness.  [nav_links src dst], when present, must be *exact*: it
-    replaces the adjacency scan that decides whether the constraint
-    holds between two bound nodes. *)
+    direction) as a sorted set; both may return a *superset* of the
+    truly matching neighbours — the search re-checks node predicates and
+    edge constraints on every binding, so supersets only cost time,
+    never correctness.  [nav_exact] declares that [nav_out]/[nav_in] are
+    *not* supersets (every enumerated neighbour satisfies the edge
+    constraint) — executors that skip the re-check (algebra [Expand])
+    may only navigate exact navs.  [nav_links src dst], when present,
+    must always be exact: it replaces the adjacency scan that decides
+    whether the constraint holds between two bound nodes. *)
 type nav = {
-  nav_out : (Digraph.node -> Digraph.node list) option;
-  nav_in : (Digraph.node -> Digraph.node list) option;
+  nav_out : (Digraph.node -> Iset.t) option;
+  nav_in : (Digraph.node -> Iset.t) option;
   nav_links : (Digraph.node -> Digraph.node -> bool) option;
+  nav_exact : bool;
 }
 
 (** A pluggable candidate provider: how an index-backed caller replaces
@@ -65,7 +72,7 @@ type nav = {
     - [prov_nav i] attaches navigation to the [i]-th element of
       [p_edges] (list order). *)
 type ('n, 'e) provider = {
-  prov_candidates : int -> Digraph.node list option;
+  prov_candidates : int -> Iset.t option;
   prov_degree : (Digraph.node -> int) option;
   prov_nav : int -> nav option;
 }
@@ -87,16 +94,16 @@ let no_provider : ('n, 'e) provider =
 
    [i_run ~first] performs the full backtracking enumeration; [first],
    when given, replaces the first choice point's node selection and
-   candidate list.  The parallel driver plans once, splits the
-   candidates into chunks, and gives each chunk to a fresh instance via
-   [~first]: everything past the first choice point is per-instance
-   state, so the per-chunk outputs concatenated in chunk order are
-   exactly the sequential enumeration.  The data graph, pattern and
-   provider are shared across instances and must not be mutated while a
-   search runs. *)
+   candidate set.  The parallel driver plans once, splits the candidate
+   set into contiguous {!Iset.sub} slices, and gives each slice to a
+   fresh instance via [~first]: everything past the first choice point
+   is per-instance state, so the per-chunk outputs concatenated in chunk
+   order are exactly the sequential enumeration.  The data graph,
+   pattern and provider are shared across instances and must not be
+   mutated while a search runs. *)
 type run_ops = {
-  i_plan : unit -> (int * int list) option;
-  i_run : first:(int * int list) option -> unit;
+  i_plan : unit -> (int * Iset.t * int) option;
+  i_run : first:(int * Iset.t * int) option -> unit;
 }
 
 let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
@@ -108,22 +115,28 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
     let bound = Array.make k false in
     let p_edges = Array.of_list pat.p_edges in
     let navs = Array.init (Array.length p_edges) provider.prov_nav in
-    (* Lazy global candidate lists: from the provider's index when it has
+    (* Lazy global candidate sets: from the provider's index when it has
        one (filtered through the node predicate, so supersets are safe),
-       from a whole-graph scan otherwise. *)
-    let cand_cache : int list option array = Array.make k None in
+       from a whole-graph scan otherwise.  Both paths yield a sorted
+       ascending set, so indexed and scan-based searches enumerate in
+       the same order. *)
+    let cand_cache : Iset.t option array = Array.make k None in
     let global_candidates p =
       match cand_cache.(p) with
       | Some c -> c
       | None ->
         let c =
           match provider.prov_candidates p with
-          | Some l -> List.filter (fun i -> pat.p_nodes.(p) i (Digraph.payload g i)) l
+          | Some s ->
+            Iset.filter (fun i -> pat.p_nodes.(p) i (Digraph.payload g i)) s
           | None ->
-            List.rev
-              (Digraph.fold_nodes
-                 (fun acc i payload -> if pat.p_nodes.(p) i payload then i :: acc else acc)
-                 [] g)
+            Iset.unsafe_of_sorted_array
+              (Array.of_list
+                 (List.rev
+                    (Digraph.fold_nodes
+                       (fun acc i payload ->
+                         if pat.p_nodes.(p) i payload then i :: acc else acc)
+                       [] g)))
         in
         cand_cache.(p) <- Some c;
         c
@@ -163,12 +176,16 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
         | Some _ | None -> Regpath.connects rp g ~src:na ~dst:nb)
       | Negated p -> not (direct_ok i p na nb)
     in
-    let edges_ok just_bound =
+    (* [skip] is a bitmask of p_edges positions whose constraint is
+       already guaranteed by the candidate set [just_bound] was drawn
+       from ({!candidates_for} below) — those are not re-checked. *)
+    let edges_ok ?(skip = 0) just_bound =
       let ok = ref true in
       Array.iteri
         (fun i (a, c, b) ->
           if
             !ok
+            && not (i < 62 && (skip lsr i) land 1 = 1)
             && (a = just_bound || b = just_bound)
             && bound.(a) && bound.(b)
             && not (edge_holds i c binding.(a) binding.(b))
@@ -179,7 +196,7 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
     (* Fail-first ordering with cheap scores: a node adjacent to the
        bound region is scored by that neighbour's degree (its candidates
        will come from adjacency); an unconnected node costs a global
-       scan, memoised. *)
+       scan, memoised — and O(1) thereafter. *)
     let next_node () =
       let best = ref (-1) in
       let best_score = ref max_int in
@@ -193,7 +210,7 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
           in
           let score =
             if neighbour_degree < max_int then neighbour_degree
-            else 1_000_000 + List.length (global_candidates p)
+            else 1_000_000 + Iset.length (global_candidates p)
           in
           if score < !best_score then begin
             best_score := score;
@@ -203,55 +220,118 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
       done;
       !best
     in
-    (* Candidates for [p]: when a positive edge connects p to an
-       already-bound node, enumerate along that edge; fall back to the
-       global list otherwise.  The node predicate is re-checked on
-       propagated candidates. *)
+    (* Candidates for [p], plus the bitmask of p_edges positions the
+       returned set already guarantees (so {!edges_ok} can skip them).
+
+       Every positive edge between p and an already-bound node
+       contributes a sorted set of endpoints reachable along that edge
+       (index navigation when available, adjacency otherwise); the sets
+       are intersected smallest-first.  Each set is a superset of that
+       edge's true matches, so the intersection drops only bindings
+       [edges_ok] would reject — the surviving candidates and their
+       ascending order are exactly the sequential scan's.  A
+       contributing edge whose set was *exact* (a scan filter, exact
+       reachability, or a [nav_exact] nav) is recorded in the mask.
+
+       Negated edges between p and a bound node are propagated as
+       *exclusions*: the exact set of adjacent nodes matching the
+       negated label predicate is subtracted ({!Iset.diff}).  Exclusion
+       needs the exact set — a superset would drop valid candidates —
+       so a non-exact nav falls back to the adjacency scan, which is
+       exact by construction.
+
+       With no bound incident edge, fall back to the global set.  The
+       node predicate is re-checked on propagated candidates. *)
     let candidates_for p =
       let nav_field i get =
         match navs.(i) with Some nav -> get nav | None -> None
       in
-      let via_edge =
-        let found = ref None in
-        Array.iteri
-          (fun i (a, c, b) ->
-            if !found = None then
-              match c with
-              | Negated _ -> ()
-              | Direct f ->
-                if a <> p && b = p && bound.(a) then
-                  found :=
-                    Some
-                      (match nav_field i (fun nav -> nav.nav_out) with
-                      | Some out -> out binding.(a)
-                      | None ->
-                        List.filter_map
-                          (fun (d, l) -> if f l then Some d else None)
-                          (Digraph.succ g binding.(a)))
-                else if a = p && b <> p && bound.(b) then
-                  found :=
-                    Some
-                      (match nav_field i (fun nav -> nav.nav_in) with
-                      | Some inn -> inn binding.(b)
-                      | None ->
-                        List.filter_map
-                          (fun (s, l) -> if f l then Some s else None)
-                          (Digraph.pred g binding.(b)))
-              | Path rp ->
-                if a <> p && b = p && bound.(a) then
-                  found :=
-                    Some
-                      (match nav_field i (fun nav -> nav.nav_out) with
-                      | Some out -> out binding.(a)
-                      | None -> Regpath.reachable rp g binding.(a)))
-          p_edges;
-        !found
+      let exact_nav_field i get =
+        match navs.(i) with
+        | Some nav when nav.nav_exact -> get nav
+        | Some _ | None -> None
       in
-      match via_edge with
-      | Some cands ->
-        List.sort_uniq compare
-          (List.filter (fun n -> pat.p_nodes.(p) n (Digraph.payload g n)) cands)
-      | None -> global_candidates p
+      let sets = ref [] and excl = ref [] and sat = ref 0 in
+      let mark i = if i < 62 then sat := !sat lor (1 lsl i) in
+      Array.iteri
+        (fun i (a, c, b) ->
+          match c with
+          | Negated f ->
+            if a <> p && b = p && bound.(a) then begin
+              excl :=
+                (match exact_nav_field i (fun nav -> nav.nav_out) with
+                | Some out -> out binding.(a)
+                | None ->
+                  Iset.of_list
+                    (List.filter_map
+                       (fun (d, l) -> if f l then Some d else None)
+                       (Digraph.succ g binding.(a))))
+                :: !excl;
+              mark i
+            end
+            else if a = p && b <> p && bound.(b) then begin
+              excl :=
+                (match exact_nav_field i (fun nav -> nav.nav_in) with
+                | Some inn -> inn binding.(b)
+                | None ->
+                  Iset.of_list
+                    (List.filter_map
+                       (fun (s, l) -> if f l then Some s else None)
+                       (Digraph.pred g binding.(b))))
+                :: !excl;
+              mark i
+            end
+          | Direct f ->
+            if a <> p && b = p && bound.(a) then begin
+              sets :=
+                (match nav_field i (fun nav -> nav.nav_out) with
+                | Some out ->
+                  if (Option.get navs.(i)).nav_exact then mark i;
+                  out binding.(a)
+                | None ->
+                  mark i;
+                  Iset.of_list
+                    (List.filter_map
+                       (fun (d, l) -> if f l then Some d else None)
+                       (Digraph.succ g binding.(a))))
+                :: !sets
+            end
+            else if a = p && b <> p && bound.(b) then begin
+              sets :=
+                (match nav_field i (fun nav -> nav.nav_in) with
+                | Some inn ->
+                  if (Option.get navs.(i)).nav_exact then mark i;
+                  inn binding.(b)
+                | None ->
+                  mark i;
+                  Iset.of_list
+                    (List.filter_map
+                       (fun (s, l) -> if f l then Some s else None)
+                       (Digraph.pred g binding.(b))))
+                :: !sets
+            end
+          | Path rp ->
+            if a <> p && b = p && bound.(a) then
+              sets :=
+                (match nav_field i (fun nav -> nav.nav_out) with
+                | Some out ->
+                  if (Option.get navs.(i)).nav_exact then mark i;
+                  out binding.(a)
+                | None ->
+                  mark i;
+                  Iset.unsafe_of_sorted_array
+                    (Array.of_list (Regpath.reachable rp g binding.(a))))
+                :: !sets)
+        p_edges;
+      let base =
+        match !sets with
+        | [] -> global_candidates p
+        | sets ->
+          Iset.filter
+            (fun n -> pat.p_nodes.(p) n (Digraph.payload g n))
+            (Iset.inter_many sets)
+      in
+      (List.fold_left Iset.diff base !excl, !sat)
     in
     (* Seed the pre-bound nodes. *)
     let seeds_ok =
@@ -272,23 +352,25 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
       if (not seeds_ok) || already >= k then None
       else
         let p = next_node () in
-        Some (p, candidates_for p)
+        let cands, sat = candidates_for p in
+        Some (p, cands, sat)
     in
     let rec extend ~first depth =
       if depth = k then emit (Array.copy binding)
       else begin
-        let p, cands =
+        let p, cands, sat =
           match first with
-          | Some (p, cands) -> (p, cands)
+          | Some (p, cands, sat) -> (p, cands, sat)
           | None ->
             let p = next_node () in
-            (p, candidates_for p)
+            let cands, sat = candidates_for p in
+            (p, cands, sat)
         in
         bound.(p) <- true;
-        List.iter
+        Iset.iter
           (fun candidate ->
             binding.(p) <- candidate;
-            if edges_ok p then extend ~first:None (depth + 1))
+            if edges_ok ~skip:sat p then extend ~first:None (depth + 1))
           cands;
         binding.(p) <- -1;
         bound.(p) <- false
@@ -303,16 +385,17 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
     nodes before the search starts (duplicates must agree); the fixed
     nodes are checked against their predicates and edge constraints.
     [provider] supplies index-backed candidates; with the default, every
-    global candidate list is a graph scan.  Indexed and scan-based
+    global candidate set is a graph scan.  Indexed and scan-based
     searches enumerate the same embeddings in the same order (provider
-    candidate lists are sorted, as scans are).
+    candidate sets are sorted, as scans are).
 
-    [domains] > 1 partitions the first choice point's candidates over
-    that many domains ({!Par.map_chunks}); the enumeration order is
-    byte-identical to the sequential one, and [emit] is always called
-    sequentially from the calling domain.  The default comes from
-    {!Par.default_domains} ([GQL_DOMAINS] / [Par.set_default]).  The
-    graph must not be mutated during a parallel search. *)
+    [domains] > 1 partitions the first choice point's candidate set over
+    that many domains ({!Par.map_chunks}); each chunk is a zero-copy
+    {!Iset.sub} slice, the enumeration order is byte-identical to the
+    sequential one, and [emit] is always called sequentially from the
+    calling domain.  The default comes from {!Par.default_domains}
+    ([GQL_DOMAINS] / [Par.set_default]).  The graph must not be mutated
+    during a parallel search. *)
 let iter_embeddings ?(pre_bound = []) ?(provider = no_provider) ?domains
     (pat : ('n, 'e) pattern)
     (g : ('n, 'e) Digraph.t) ~(emit : embedding -> unit) : unit =
@@ -326,17 +409,15 @@ let iter_embeddings ?(pre_bound = []) ?(provider = no_provider) ?domains
     let probe = instance ~pre_bound ~provider pat g ~emit:ignore in
     match probe.i_plan () with
     | None -> (instance ~pre_bound ~provider pat g ~emit).i_run ~first:None
-    | Some (p, cands) ->
-      let arr = Array.of_list cands in
+    | Some (p, cands, sat) ->
       let chunks =
-        Par.map_chunks ~domains ~n:(Array.length arr) (fun lo hi ->
+        Par.map_chunks ~domains ~n:(Iset.length cands) (fun lo hi ->
             let buf = ref [] in
-            let sub = Array.to_list (Array.sub arr lo (hi - lo)) in
             let inst =
               instance ~pre_bound ~provider pat g ~emit:(fun e ->
                   buf := e :: !buf)
             in
-            inst.i_run ~first:(Some (p, sub));
+            inst.i_run ~first:(Some (p, Iset.sub cands lo (hi - lo), sat));
             List.rev !buf)
       in
       List.iter (fun chunk -> List.iter emit chunk) chunks

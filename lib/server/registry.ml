@@ -6,7 +6,10 @@
     nothing ever mutates a published snapshot.  Re-loading a name
     installs a fresh snapshot under a bumped [version]; the version is
     part of every result-cache key, so cached results of the old
-    snapshot can never be served for the new one.
+    snapshot can never be served for the new one.  The index carries
+    the snapshot's {!Gql_data.Symtab} — symbol ids are snapshot-local,
+    so a re-load builds a fresh interner along with the fresh index and
+    ids must never be held across, or compared between, versions.
 
     The only mutation a query can demand — WG-Log's deductive fixpoint —
     happens on a {!fork}: a private copy of the data graph, discarded

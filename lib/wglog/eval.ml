@@ -231,11 +231,10 @@ let provider (idx : Index.t) (cq : compiled_query) :
   let candidates p =
     let nd = cq.node_specs.(p) in
     match nd.Ast.n_kind with
-    | Ast.Entity (Some t) ->
-      Some (Array.to_list (Index.complex_with_label idx t))
-    | Ast.Entity None -> Some (Array.to_list (Index.all_complex idx))
-    | Ast.Value (Some c) -> Some (Array.to_list (Index.atoms_equal idx c))
-    | Ast.Value None -> Some (Array.to_list (Index.all_atoms idx))
+    | Ast.Entity (Some t) -> Some (Index.complex_with_label idx t)
+    | Ast.Entity None -> Some (Index.all_complex idx)
+    | Ast.Value (Some c) -> Some (Index.atoms_equal idx c)
+    | Ast.Value None -> Some (Index.all_atoms idx)
   in
   let navs =
     Array.of_list
@@ -249,6 +248,29 @@ let provider (idx : Index.t) (cq : compiled_query) :
          cq.pattern.Gql_graph.Homo.p_edges cq.edge_names)
   in
   Index.provider ~navs idx ~candidates
+
+(* Entity predicates specialised to a specific index snapshot: "is this
+   node labelled t?" becomes one integer compare against the snapshot's
+   interned label plane.  Value rectangles keep their precompiled
+   generic predicate (conditions were compiled once in [compile_query];
+   respecialising would re-build Chre automata per call).  Only valid
+   while [idx] matches [data] — exactly the contract [query_embeddings]
+   already has for its [?index] argument. *)
+let specialised_pattern (idx : Index.t) (cq : compiled_query) :
+    (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern =
+  let p_nodes =
+    Array.mapi
+      (fun p (nd : Ast.node) ->
+        match nd.Ast.n_kind with
+        | Ast.Entity (Some t) ->
+          let sym = Index.label_sym idx t in
+          fun dn (_ : Graph.node_kind) -> sym >= 0 && Index.node_sym idx dn = sym
+        | Ast.Entity None ->
+          fun dn (_ : Graph.node_kind) -> Index.node_sym idx dn >= 0
+        | Ast.Value _ -> cq.pattern.Gql_graph.Homo.p_nodes.(p))
+      cq.node_specs
+  in
+  { cq.pattern with Gql_graph.Homo.p_nodes }
 
 let global_negs_ok ?index (data : Graph.t) (cq : compiled_query) =
   List.for_all
@@ -283,27 +305,23 @@ let neg_checks_ok ?index (data : Graph.t) (cq : compiled_query)
       let anchor = full.(nc.nc_anchor) in
       anchor < 0
       ||
-      let neighbours =
-        match index with
-        | Some idx -> (
-          match nc.nc_dir with
-          | `Out -> Array.to_list (Index.out_named idx anchor nc.nc_label)
-          | `In -> Array.to_list (Index.in_named idx anchor nc.nc_label))
-        | None -> (
-          match nc.nc_dir with
-          | `Out ->
-            List.filter_map
-              (fun (d, (e : Graph.edge)) ->
-                if label_matches nc.nc_label e then Some d else None)
-              (Graph.out data anchor)
-          | `In ->
-            List.filter_map
-              (fun (s, (e : Graph.edge)) ->
-                if label_matches nc.nc_label e then Some s else None)
-              (Graph.inn data anchor))
-      in
       let spec = node_pred nc.nc_spec in
-      not (List.exists (fun m -> spec m (Graph.kind data m)) neighbours))
+      let hit m = spec m (Graph.kind data m) in
+      (match index with
+      | Some idx ->
+        let set =
+          match nc.nc_dir with
+          | `Out -> Index.out_named idx anchor nc.nc_label
+          | `In -> Index.in_named idx anchor nc.nc_label
+        in
+        not (Gql_graph.Iset.fold (fun acc m -> acc || hit m) false set)
+      | None ->
+        not
+          (List.exists
+             (fun (m, (e : Graph.edge)) -> label_matches nc.nc_label e && hit m)
+             (match nc.nc_dir with
+             | `Out -> Graph.out data anchor
+             | `In -> Graph.inn data anchor))))
     cq.neg_checks
 
 (** Embeddings of the query part; each result maps rule node id -> data
@@ -317,7 +335,14 @@ let query_embeddings ?(pre_bound = []) ?index ?domains (data : Graph.t)
   else begin
   let out = ref [] in
   let prov = Option.map (fun idx -> provider idx cq) index in
-  Gql_graph.Homo.iter_embeddings ~pre_bound ?provider:prov ?domains cq.pattern
+  let pattern =
+    (* the same embeddings, but entity tests become integer compares
+       against the snapshot's interned labels *)
+    match index with
+    | Some idx -> specialised_pattern idx cq
+    | None -> cq.pattern
+  in
+  Gql_graph.Homo.iter_embeddings ~pre_bound ?provider:prov ?domains pattern
     data.Graph.g ~emit:(fun emb ->
       let full = Array.make n (-1) in
       Array.iteri (fun pos qid -> full.(qid) <- emb.(pos)) cq.query_ids;
@@ -607,23 +632,37 @@ let stale_index_ok ~adds_nodes ~added_labels (r : Ast.rule) : bool =
 (* Semi-naive: for every positive Direct pattern edge, enumerate the data
    edges added in the previous round, pin the pattern edge's endpoints to
    that instance, and complete the embedding around it.  With seeded
-   search the per-round cost tracks the delta instead of the database. *)
+   search the per-round cost tracks the delta instead of the database.
+
+   One pass over the data edges serves every pattern edge at once (the
+   old per-pattern-edge sweep paid O(pattern edges * data edges) per
+   round); per-pattern-edge accumulators keep the seed order identical
+   to the per-edge sweeps, so downstream Skolem node numbering — and
+   therefore every constructed graph — is unchanged. *)
 let delta_seeds (data : Graph.t) (cq : compiled_query) ~(last_gen : int) :
     (int * int) list list =
-  List.concat
-    (List.map
-       (fun (src, c, dst) ->
-         match c with
-         | Gql_graph.Homo.Direct p ->
-           let seeds = ref [] in
-           Gql_graph.Digraph.iter_edges
-             (fun ~src:u ~dst:v (e : Graph.edge) ->
-               if e.Graph.gen = last_gen && p e then
-                 seeds := [ (src, u); (dst, v) ] :: !seeds)
-             data.Graph.g;
-           !seeds
-         | Gql_graph.Homo.Path _ | Gql_graph.Homo.Negated _ -> [])
-       cq.pattern.Gql_graph.Homo.p_edges)
+  let pats =
+    List.filter_map
+      (fun (src, c, dst) ->
+        match c with
+        | Gql_graph.Homo.Direct p -> Some (src, p, dst)
+        | Gql_graph.Homo.Path _ | Gql_graph.Homo.Negated _ -> None)
+      cq.pattern.Gql_graph.Homo.p_edges
+  in
+  match pats with
+  | [] -> []
+  | pats ->
+    let pats = Array.of_list pats in
+    let acc = Array.make (Array.length pats) [] in
+    Gql_graph.Digraph.iter_edges
+      (fun ~src:u ~dst:v (e : Graph.edge) ->
+        if e.Graph.gen = last_gen then
+          Array.iteri
+            (fun i (src, p, dst) ->
+              if p e then acc.(i) <- [ (src, u); (dst, v) ] :: acc.(i))
+            pats)
+      data.Graph.g;
+    List.concat_map (fun seeds -> seeds) (Array.to_list acc)
 
 (** Run a program to fixpoint.  Mutates [data]; returns statistics.
 

@@ -55,8 +55,41 @@ let name_test_matches data test dn =
     | Ast.Name_re pattern ->
       Gql_regex.Chre.matches (Predicate.compiled_regex pattern) l)
 
-(* Candidate predicate for one query node, with local predicate pushdown. *)
-let node_predicate data (qn : Ast.qnode) : int -> Graph.node_kind -> bool =
+(* With an index in hand, a name test is an integer compare against the
+   node's interned label symbol ([Index.node_sym], -1 for atoms) — one
+   symbol resolution per *query*, not one string compare per candidate.
+   Regex name tests memoise their verdict per label symbol, so the
+   automaton runs once per distinct label ever probed (a benign write
+   race under domains: every domain computes the same byte). *)
+let name_test_sym (idx : Index.t) test : int -> bool =
+  match test with
+  | Ast.Exact n ->
+    let sym = Index.label_sym idx n in
+    fun dn -> sym >= 0 && Index.node_sym idx dn = sym
+  | Ast.Any_name -> fun dn -> Index.node_sym idx dn >= 0
+  | Ast.Name_re pattern ->
+    let re = Predicate.compiled_regex pattern in
+    let n_syms = Gql_data.Symtab.length (Index.symtab idx) in
+    let memo = Bytes.make (max 1 n_syms) '\000' in
+    fun dn ->
+      let s = Index.node_sym idx dn in
+      s >= 0
+      && (match Bytes.get memo s with
+         | '\001' -> true
+         | '\002' -> false
+         | _ ->
+           let ok =
+             Gql_regex.Chre.matches re
+               (Gql_data.Symtab.name (Index.symtab idx) s)
+           in
+           Bytes.set memo s (if ok then '\001' else '\002');
+           ok)
+
+(* Candidate predicate for one query node, with local predicate pushdown.
+   [index] specialises the name test to interned-symbol compares; the
+   accepted node set is identical either way (scan-vs-index oracle). *)
+let node_predicate ?(index : Index.t option) data (qn : Ast.qnode) :
+    int -> Graph.node_kind -> bool =
   let local_pred =
     match qn.q_pred with
     | Some p when Predicate.is_local p -> Some p
@@ -71,9 +104,14 @@ let node_predicate data (qn : Ast.qnode) : int -> Graph.node_kind -> bool =
   in
   match qn.q_kind with
   | Ast.Q_elem test ->
+    let name_ok : int -> bool =
+      match index with
+      | Some idx -> name_test_sym idx test
+      | None -> fun dn -> name_test_matches data test dn
+    in
     fun dn kind ->
       (match kind with Graph.Complex _ -> true | Graph.Atom _ -> false)
-      && name_test_matches data test dn
+      && name_ok dn
       && (local_pred = None || check_local dn (Graph.node_value data dn))
   | Ast.Q_content | Ast.Q_attr ->
     fun dn kind ->
@@ -115,7 +153,8 @@ let edge_constraint (k : Ast.qedge_kind) :
            | Some n -> e.Graph.name = n))
   | Ast.Absent -> None
 
-let compile (data : Graph.t) (q : Ast.query) : compiled =
+let compile ?(index : Index.t option) (data : Graph.t) (q : Ast.query) :
+    compiled =
   let nq = Array.length q.q_nodes in
   (* Count positive incoming edges per node to find value-join circles,
      and incident non-absent edges to find absent-only nodes. *)
@@ -211,7 +250,8 @@ let compile (data : Graph.t) (q : Ast.query) : compiled =
     if pid < n_kept then List.nth !kept pid else List.nth splits (pid - n_kept)
   in
   let p_nodes =
-    Array.init total (fun pid -> node_predicate data q.q_nodes.(query_of_pid pid))
+    Array.init total (fun pid ->
+        node_predicate ?index data q.q_nodes.(query_of_pid pid))
   in
   let pat_to_query_arr = Array.init total query_of_pid in
   let value_join_groups =
@@ -258,13 +298,14 @@ let compile (data : Graph.t) (q : Ast.query) : compiled =
 
 (* --- index-backed candidate provider --------------------------------- *)
 
-(** Global candidates for one query node, from the index.  Supersets are
-    sound: [Gql_graph.Homo] re-applies the node predicate.  Regex name
-    tests run once per distinct label instead of once per node. *)
-let index_candidates (idx : Index.t) (qn : Ast.qnode) : int list =
+(** Global candidates for one query node, from the index — zero-copy
+    posting sets.  Supersets are sound: [Gql_graph.Homo] re-applies the
+    node predicate.  Regex name tests run once per distinct label
+    instead of once per node. *)
+let index_candidates (idx : Index.t) (qn : Ast.qnode) : Gql_graph.Iset.t =
   match qn.q_kind with
-  | Ast.Q_elem (Ast.Exact n) -> Array.to_list (Index.complex_with_label idx n)
-  | Ast.Q_elem Ast.Any_name -> Array.to_list (Index.all_complex idx)
+  | Ast.Q_elem (Ast.Exact n) -> Index.complex_with_label idx n
+  | Ast.Q_elem Ast.Any_name -> Index.all_complex idx
   | Ast.Q_elem (Ast.Name_re pattern) ->
     let re = Predicate.compiled_regex pattern in
     Index.complex_matching idx (fun l -> Gql_regex.Chre.matches re l)
@@ -272,9 +313,9 @@ let index_candidates (idx : Index.t) (qn : Ast.qnode) : int list =
     match qn.q_pred with
     | Some p when Predicate.is_local p -> (
       match Predicate.equality_const p with
-      | Some v -> Array.to_list (Index.atoms_equal idx v)
-      | None -> Array.to_list (Index.all_atoms idx))
-    | Some _ | None -> Array.to_list (Index.all_atoms idx))
+      | Some v -> Index.atoms_equal idx v
+      | None -> Index.all_atoms idx)
+    | Some _ | None -> Index.all_atoms idx)
 
 let index_nav (idx : Index.t) (k : Ast.qedge_kind) : Gql_graph.Homo.nav option =
   match k with
@@ -361,7 +402,7 @@ let embedding_ok (c : compiled) (data : Graph.t) (emb : int array) : bool =
     many domains (answers are byte-identical to sequential). *)
 let run ?(index : Index.t option) ?domains (data : Graph.t) (q : Ast.query) :
     binding list =
-  let c = compile data q in
+  let c = compile ?index data q in
   let provider = Option.map (fun idx -> provider idx c) index in
   let out = ref [] in
   Gql_graph.Homo.iter_embeddings ?provider ?domains c.pattern data.Graph.g

@@ -304,6 +304,41 @@ let test_cache_refresh () =
   check "rebuilt after growth" true (not (i1 == i3));
   check_int "sees the new node" (Graph.n_nodes data) (Index.n_nodes i3)
 
+(* --- interned symbol plane ------------------------------------------- *)
+
+(* Index.build writes each node's interned label id onto the frozen CSR
+   ([Csr.node_sym]); the plane must round-trip through the snapshot's
+   symtab, atoms must stay unlabelled (-1), and ids are snapshot-local:
+   a different snapshot may assign different ids to the same strings. *)
+let test_symbol_plane () =
+  let open Gql_data in
+  let data = Graph.create () in
+  let r = Graph.add_complex data "Restaurant" in
+  let m = Graph.add_complex data "Menu" in
+  let v = Graph.add_atom data (Value.string "bistro") in
+  Graph.link data ~src:r ~dst:m (Graph.rel_edge "offers");
+  Graph.link data ~src:r ~dst:v (Graph.attr_edge "name");
+  let idx = Index.build data in
+  let st = Index.symtab idx in
+  check "labels interned" true
+    (Symtab.name st (Index.node_sym idx r) = "Restaurant"
+    && Symtab.name st (Index.node_sym idx m) = "Menu");
+  check_int "atom has no label sym" (-1) (Index.node_sym idx v);
+  check_int "label_sym round-trip" (Index.node_sym idx r)
+    (Index.label_sym idx "Restaurant");
+  check_int "missing label" (-1) (Index.label_sym idx "Pub");
+  check "sym bucket = label bucket" true
+    (Index.complex_with_sym idx (Index.label_sym idx "Menu")
+    = Index.complex_with_label idx "Menu");
+  (* snapshot-local: a second snapshot interning in a different order
+     can give "Menu" a different id, and each index only answers for
+     its own ids *)
+  let data2 = Graph.create () in
+  let m2 = Graph.add_complex data2 "Menu" in
+  let idx2 = Index.build data2 in
+  check "own snapshot resolves" true
+    (Gql_graph.Iset.to_list (Index.complex_with_label idx2 "Menu") = [ m2 ])
+
 let () =
   Alcotest.run "csr"
     [
@@ -325,6 +360,8 @@ let () =
           Alcotest.test_case "pre-bound seeds" `Quick test_pre_bound_equivalence;
           Alcotest.test_case "matches are non-empty" `Quick test_sanity_nonempty;
         ] );
+      ( "symbols",
+        [ Alcotest.test_case "interned label plane" `Quick test_symbol_plane ] );
       ( "cache",
         [ Alcotest.test_case "refresh" `Quick test_cache_refresh ] );
     ]

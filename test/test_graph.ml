@@ -232,6 +232,65 @@ let prop_regpath_single_sym =
 let any _ _ = true
 let lbl want _ p = p = want
 
+(* Candidate propagation through a provider (navs intersected
+   smallest-first, negations as exclusions) must bind the same
+   embeddings in the same order as the plain scan — the scan-vs-index
+   fuzz oracle's contract, pinned here on a pattern where one node has
+   two bound incident edges plus a negated one.  One nav is a
+   deliberate superset with [nav_exact = false], so the re-check path
+   is exercised too. *)
+let test_homo_provider_order () =
+  let g =
+    build
+      [ "a"; "c"; "b"; "b"; "b"; "b" ]
+      [ (0, "x", 2); (0, "x", 3); (0, "x", 5); (1, "y", 2); (1, "y", 3);
+        (1, "y", 4); (0, "z", 3) ]
+  in
+  let pat =
+    {
+      Homo.p_nodes = [| lbl "a"; lbl "c"; lbl "b" |];
+      p_edges =
+        [ (0, Homo.Direct (fun e -> e = "x"), 2);
+          (1, Homo.Direct (fun e -> e = "y"), 2);
+          (0, Homo.Negated (fun e -> e = "z"), 2) ];
+    }
+  in
+  let by_label want =
+    Iset.of_list
+      (Digraph.fold_nodes (fun acc i p -> if p = want then i :: acc else acc) [] g)
+  in
+  let out_lbl want n =
+    Iset.of_list
+      (List.filter_map (fun (d, l) -> if l = want then Some d else None)
+         (Digraph.succ g n))
+  in
+  let nav_x =
+    (* exact: exactly the x-successors *)
+    Some
+      { Homo.nav_out = Some (out_lbl "x"); nav_in = None;
+        nav_links = Some (fun s d -> Iset.mem (out_lbl "x" s) d);
+        nav_exact = true }
+  in
+  let nav_y_superset =
+    (* superset: all successors regardless of label, not exact *)
+    Some
+      { Homo.nav_out = Some (fun n -> Iset.of_list (List.map fst (Digraph.succ g n)));
+        nav_in = None; nav_links = None; nav_exact = false }
+  in
+  let provider =
+    {
+      Homo.prov_candidates =
+        (fun p -> Some (by_label [| "a"; "c"; "b" |].(p)));
+      prov_degree = None;
+      prov_nav =
+        (fun i -> match i with 0 -> nav_x | 1 -> nav_y_superset | _ -> None);
+    }
+  in
+  let scan = Homo.all_embeddings pat g in
+  let indexed = Homo.all_embeddings ~provider pat g in
+  check "non-trivial" true (List.length scan > 0);
+  check "same embeddings, same order" true (scan = indexed)
+
 let test_homo_basic () =
   let g = build [ "a"; "b"; "a"; "b"; "c" ] [ (0, "", 1); (2, "", 3); (4, "", 1) ] in
   let pat =
@@ -356,6 +415,8 @@ let () =
       ( "homo",
         [
           Alcotest.test_case "basic" `Quick test_homo_basic;
+          Alcotest.test_case "provider keeps binding order" `Quick
+            test_homo_provider_order;
           Alcotest.test_case "edge labels" `Quick test_homo_edge_labels;
           Alcotest.test_case "shared node join" `Quick test_homo_shared_node_join;
           Alcotest.test_case "negated" `Quick test_homo_negated;
