@@ -927,6 +927,152 @@ let e14 () =
     (pr4_median ~anchor:"\"experiment\": \"e5\", \"docs\": 400" ~field:"root")
 
 (* ------------------------------------------------------------------ *)
+(* E13v2 — the pooled, work-gated scheduler                             *)
+(* ------------------------------------------------------------------ *)
+
+let e13v2 () =
+  header "E13v2  pooled scheduler: gated small fixtures, million-node scaling";
+  let host = Domain.recommended_domain_count () in
+  let cutoff = Gql_graph.Par.cutoff () in
+  row
+    "(host reports %d domain(s); par cutoff = %d work units.  The small\n\
+    \ fixtures sit below the cutoff, so every domain count runs the same\n\
+    \ sequential code — their speedup column is the price of the gate and\n\
+    \ must hold ~1.0x.  The large fixtures clear the cutoff and go through\n\
+    \ the worker pool; real scaling needs real cores, so on a 1-core host\n\
+    \ the table records honest wall clock while the byte-identity check\n\
+    \ still fires on every run.  Speedups use min_ms — the low-noise\n\
+    \ floor — because the gate comparison is a same-code-path ratio.)\n"
+    host cutoff;
+  row "%-22s  %6s  %8s  %10s  %10s  %5s  %8s  %6s  %6s  %7s\n" "workload"
+    "class" "domains" "median_ms" "min_ms" "ident" "speedup" "jobs" "chunks"
+    "stolen";
+  let sweep ~klass ?repeat name run =
+    let baseline = ref None in
+    List.iter
+      (fun domains ->
+        (* a compacted heap before every point: the sweep compares
+           domain counts, and carried-over garbage from earlier points
+           would otherwise drift the floor between them *)
+        Gc.compact ();
+        let s0 = Gql_graph.Par.stats () in
+        let tm, digest = timed ?repeat (fun () -> run domains) in
+        let ds =
+          Gql_graph.Par.stats_diff ~before:s0 (Gql_graph.Par.stats ())
+        in
+        let seq_digest, seq_min =
+          match !baseline with
+          | None ->
+            baseline := Some (digest, tm.min_ms);
+            (digest, tm.min_ms)
+          | Some b -> b
+        in
+        if digest <> seq_digest then
+          failwith
+            (Printf.sprintf
+               "E13v2 %s: %d-domain result differs from sequential" name
+               domains);
+        let speedup = seq_min /. tm.min_ms in
+        record ~experiment:"e13v2"
+          ([ ("workload", J_str name); ("class", J_str klass);
+             ("domains", J_int domains); ("identical", J_bool true);
+             ("speedup", J_num speedup); ("cutoff", J_int cutoff);
+             ("host_domains", J_int host);
+             ("par_jobs", J_int ds.Gql_graph.Par.jobs);
+             ("par_chunks", J_int ds.Gql_graph.Par.chunks);
+             ("par_chunks_stolen", J_int ds.Gql_graph.Par.stolen);
+             ("par_seq_below_cutoff", J_int ds.Gql_graph.Par.seq_below_cutoff);
+             ("par_seq_nested", J_int ds.Gql_graph.Par.seq_nested);
+             ("par_seq_solo", J_int ds.Gql_graph.Par.seq_solo);
+             ("par_workers_spawned", J_int ds.Gql_graph.Par.workers_spawned);
+             ("par_spawn_failures", J_int ds.Gql_graph.Par.spawn_failures) ]
+          @ j_timing tm);
+        row "%-22s  %6s  %8d  %10.2f  %10.2f  %5s  %7.2fx  %6d  %6d  %7d\n"
+          name klass domains tm.median_ms tm.min_ms "yes" speedup
+          ds.Gql_graph.Par.jobs ds.Gql_graph.Par.chunks
+          ds.Gql_graph.Par.stolen)
+      [ 1; 2; 4; 8 ]
+  in
+  (* -- the three E13 small fixtures, same seeds: the gate must keep
+     them sequential at every domain count ------------------------------ *)
+  begin
+    let e1_base =
+      Gql_workload.Gen.restaurants ~seed:(seed 71) ~menu_fraction:0.6 1000
+    in
+    let e1_prog =
+      Gql_lang.Wglog_text.parse_program
+        ~schema:Gql_wglog.Schema.restaurant_schema Gql_workload.Queries.q10_src
+    in
+    let e5_base =
+      Gql_workload.Gen.hyperdocs ~seed:(seed 72) ~fanout:3 ~link_factor:1 400
+    in
+    let e5_prog =
+      Gql_lang.Wglog_text.parse_program
+        ~schema:Gql_wglog.Schema.hyperdoc_schema Gql_workload.Queries.q12_src
+    in
+    let e7_graph =
+      fst
+        (Gql_data.Codec.encode (Gql_workload.Gen.greengrocer ~seed:(seed 73) 1600))
+    in
+    let e7_query =
+      (List.hd
+         (Gql_core.Gql.parse_xmlgl Gql_workload.Queries.q4_src).Gql_xmlgl.Ast.rules)
+        .Gql_xmlgl.Ast.query
+    in
+    let fixpoint base prog domains =
+      let g = Gql_data.Graph.copy base in
+      let stats = Gql_wglog.Eval.run ~domains g prog in
+      Digest.string
+        (Marshal.to_string
+           ( stats.Gql_wglog.Eval.rounds,
+             stats.Gql_wglog.Eval.embeddings_found,
+             stats.Gql_wglog.Eval.nodes_added,
+             stats.Gql_wglog.Eval.edges_added )
+           [])
+      ^ graph_digest g
+    in
+    (* extra repetitions: the small points are a few ms each, and their
+       speedup column is a same-code-path ratio that must not wobble *)
+    sweep ~klass:"small" ~repeat:9 "e1/q10-restaurants" (fixpoint e1_base e1_prog);
+    sweep ~klass:"small" ~repeat:9 "e5/q12-hyperdocs" (fixpoint e5_base e5_prog);
+    sweep ~klass:"small" ~repeat:9 "e7/q4-join" (fun domains ->
+        Digest.string
+          (Marshal.to_string
+             (Gql_xmlgl.Matching.run ~domains e7_graph e7_query) []))
+  end;
+  Gc.compact ();
+  (* -- the million-node fixtures: wide, deep, skewed -------------------- *)
+  (* embedding digests fold a hash in enumeration order instead of
+     marshalling million-element lists; count + hash pin both the set
+     and the order *)
+  let goal_digest g rule domains =
+    let embs = Gql_wglog.Eval.goal ~domains g rule in
+    let h =
+      List.fold_left
+        (fun acc emb ->
+          Array.fold_left (fun a x -> (a * 1_000_003) lxor x) acc emb)
+        17 embs
+    in
+    Printf.sprintf "%d:%d" (List.length embs) h
+  in
+  let rule_of schema src =
+    List.hd (Gql_lang.Wglog_text.parse_program ~schema src).Gql_wglog.Ast.rules
+  in
+  List.iter
+    (fun (name, gen, src) ->
+      let g = gen () in
+      let rule = rule_of Gql_wglog.Schema.scale_schema src in
+      row "%-22s  (%d nodes)\n" name (Gql_data.Graph.n_nodes g);
+      sweep ~klass:"large" name (goal_digest g rule);
+      Gc.compact ())
+    [ ("wide-1M", (fun () -> Gql_workload.Gen.wide_graph ~seed:(seed 74) ~hubs:1024 1_000_000),
+       Gql_workload.Queries.q13_src);
+      ("deep-1M", (fun () -> Gql_workload.Gen.deep_graph ~seed:(seed 75) ~chains:2048 1_000_000),
+       Gql_workload.Queries.q14_src);
+      ("skewed-1M", (fun () -> Gql_workload.Gen.skewed_graph ~seed:(seed 76) ~groups:512 1_000_000),
+       Gql_workload.Queries.q15_src) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -979,7 +1125,7 @@ let micro () =
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e13v2", e13v2) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1011,6 +1157,7 @@ let () =
       (fun name ->
         match List.assoc_opt (String.lowercase_ascii name) all with
         | Some f -> f ()
-        | None -> Printf.eprintf "unknown experiment %s (e1..e14, micro)\n" name)
+        | None ->
+          Printf.eprintf "unknown experiment %s (e1..e14, e13v2, micro)\n" name)
       names);
-  if json then write_json "BENCH_PR5.json"
+  if json then write_json "BENCH_PR6.json"

@@ -69,9 +69,19 @@ let run_cmd =
     in
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
   in
-  let action data query out domains =
+  let par_cutoff_arg =
+    let doc =
+      "Work-size cutoff for parallel evaluation: jobs whose cost estimate \
+       (candidates x pattern size) is below $(docv) run sequentially even \
+       when --domains asks for more.  0 disables gating.  Overrides \
+       \\$GQL_PAR_CUTOFF; default 65536."
+    in
+    Arg.(value & opt (some int) None & info [ "par-cutoff" ] ~docv:"COST" ~doc)
+  in
+  let action data query out domains par_cutoff =
     wrap (fun () ->
         Option.iter Gql_graph.Par.set_default domains;
+        Option.iter Gql_graph.Par.set_cutoff par_cutoff;
         let source = read_file query in
         match language_of source with
         | `Xmlgl ->
@@ -102,7 +112,10 @@ let run_cmd =
         | `Unknown -> failwith "query file must start with 'xmlgl' or 'wglog'")
   in
   let info = Cmd.info "run" ~doc:"Evaluate a graphical query against a database." in
-  Cmd.v info Term.(const action $ data_arg $ query_arg $ out_arg $ domains_arg)
+  Cmd.v info
+    Term.(
+      const action $ data_arg $ query_arg $ out_arg $ domains_arg
+      $ par_cutoff_arg)
 
 (* --- validate ------------------------------------------------------------- *)
 

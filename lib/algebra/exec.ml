@@ -73,7 +73,10 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
   let node_pred v n = pattern.Gql_graph.Homo.p_nodes.(v) n (Graph.kind data n) in
   (* The scan and expand leaves fan out over domains ({!Gql_graph.Par}):
      chunked over the candidate range / input bindings, merged back in
-     order, so plan output is byte-identical to sequential execution. *)
+     order, so plan output is byte-identical to sequential execution.
+     Each leaf passes a work estimate so Par's cutoff keeps small
+     operators sequential: a scan costs one predicate test per
+     candidate, an expansion roughly an adjacency-filter per binding. *)
   let rec eval (p : Plan.t) : binding list =
     match p with
     | Plan.Scan { var; _ } -> (
@@ -85,7 +88,9 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
       match indexed with
       | Some cands ->
         (* index candidates are sorted ascending, like the scan below *)
-        Gql_graph.Par.map_chunks ~domains ~n:(Gql_graph.Iset.length cands)
+        Gql_graph.Par.map_chunks
+          ~cost:(Gql_graph.Iset.length cands)
+          ~domains ~n:(Gql_graph.Iset.length cands)
           (fun lo hi ->
             let out = ref [] in
             for i = hi - 1 downto lo do
@@ -99,7 +104,8 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
             !out)
         |> List.concat
       | None ->
-        Gql_graph.Par.map_chunks ~domains ~n:(Graph.n_nodes data) (fun lo hi ->
+        Gql_graph.Par.map_chunks ~cost:(Graph.n_nodes data) ~domains
+          ~n:(Graph.n_nodes data) (fun lo hi ->
             let out = ref [] in
             for n = hi - 1 downto lo do
               if node_pred var n then begin
@@ -111,7 +117,10 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
             !out)
         |> List.concat)
     | Plan.Expand { input; src; dst; dir; cons; nav; _ } ->
-      Gql_graph.Par.concat_map_chunks ~domains
+      let bindings = eval input in
+      Gql_graph.Par.concat_map_chunks
+        ~cost:(List.length bindings * 8)
+        ~domains
         (fun b ->
           let from = b.(src) in
           if from < 0 then []
@@ -124,7 +133,7 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
                      Some b'
                    end
                    else None))
-        (eval input)
+        bindings
     | Plan.Edge_check { input; src; dst; cons; nav; _ } ->
       List.filter
         (fun b -> edge_ok ?nav cons data ~src:b.(src) ~dst:b.(dst))

@@ -20,9 +20,9 @@ type node = int
 
 let create ~(dummy : 'n) : ('n, 'e) t =
   {
-    payloads = Vec.create ~dummy;
-    out_adj = Vec.create ~dummy:[| [] |];
-    in_adj = Vec.create ~dummy:[| [] |];
+    payloads = Vec.create ~dummy ();
+    out_adj = Vec.create ~dummy:[| [] |] ();
+    in_adj = Vec.create ~dummy:[| [] |] ();
     n_edges = 0;
   }
 

@@ -106,21 +106,62 @@ type run_ops = {
   i_run : first:(int * Iset.t * int) option -> unit;
 }
 
-let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
+(* Read-only compiled form of a pattern + provider, built once per
+   search and shared by every instance — the parallel driver used to
+   rebuild the edge array, navs and adjacency lists *per chunk*, and
+   each chunk recomputed every memoised global candidate set from
+   scratch (E13's 30% minor-word inflation at 2+ domains).  [s_cands]
+   is the global-candidate memo: the probe instance fills it in place
+   while planning; chunk instances take an [Array.copy], so any set a
+   chunk still computes lazily stays domain-local.
+
+   The copy is sound because the probe already computed every set the
+   chunks will need: [next_node] scores *all* unbound unconnected nodes
+   by their global candidate count, so during [i_plan] each node that
+   could ever fall back to a global set has had it memoised. *)
+type ('n, 'e) shared = {
+  s_edges : (int * ('n, 'e) edge_constraint * int) array;
+  s_navs : nav option array;
+  s_adj : int list array;
+  s_cands : Iset.t option array;
+}
+
+let make_shared ~(provider : ('n, 'e) provider) (pat : ('n, 'e) pattern) :
+    ('n, 'e) shared =
+  let k = Array.length pat.p_nodes in
+  let s_edges = Array.of_list pat.p_edges in
+  let s_navs = Array.init (Array.length s_edges) provider.prov_nav in
+  (* Positive adjacency between pattern nodes, for connectivity-guided
+     ordering; negated edges do not guide the order (they only filter). *)
+  let s_adj = Array.make k [] in
+  List.iter
+    (fun (a, c, b) ->
+      match c with
+      | Direct _ | Path _ ->
+        s_adj.(a) <- b :: s_adj.(a);
+        s_adj.(b) <- a :: s_adj.(b)
+      | Negated _ -> ())
+    pat.p_edges;
+  { s_edges; s_navs; s_adj; s_cands = Array.make k None }
+
+let instance ~(shared : ('n, 'e) shared) ~(copy_cands : bool)
+    ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
     (pat : ('n, 'e) pattern) (g : ('n, 'e) Digraph.t)
     ~(emit : embedding -> unit) : run_ops =
   let k = Array.length pat.p_nodes in
   begin
     let binding = Array.make k (-1) in
     let bound = Array.make k false in
-    let p_edges = Array.of_list pat.p_edges in
-    let navs = Array.init (Array.length p_edges) provider.prov_nav in
+    let p_edges = shared.s_edges in
+    let navs = shared.s_navs in
     (* Lazy global candidate sets: from the provider's index when it has
        one (filtered through the node predicate, so supersets are safe),
        from a whole-graph scan otherwise.  Both paths yield a sorted
        ascending set, so indexed and scan-based searches enumerate in
        the same order. *)
-    let cand_cache : Iset.t option array = Array.make k None in
+    let cand_cache : Iset.t option array =
+      if copy_cands then Array.copy shared.s_cands else shared.s_cands
+    in
     let global_candidates p =
       match cand_cache.(p) with
       | Some c -> c
@@ -147,17 +188,7 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
       | Some deg -> deg n
       | None -> Digraph.out_degree g n + Digraph.in_degree g n
     in
-    (* Positive adjacency between pattern nodes, for connectivity-guided
-       ordering; negated edges do not guide the order (they only filter). *)
-    let adj = Array.make k [] in
-    List.iter
-      (fun (a, c, b) ->
-        match c with
-        | Direct _ | Path _ ->
-          adj.(a) <- b :: adj.(a);
-          adj.(b) <- a :: adj.(b)
-        | Negated _ -> ())
-      pat.p_edges;
+    let adj = shared.s_adj in
     (* Check every constraint whose endpoints are both bound and that
        involves pattern node [just_bound].  [nav_links] is the exact
        index-backed replacement for the adjacency scan. *)
@@ -393,7 +424,13 @@ let instance ~(pre_bound : (int * int) list) ~(provider : ('n, 'e) provider)
     that many domains ({!Par.map_chunks}); each chunk is a zero-copy
     {!Iset.sub} slice, the enumeration order is byte-identical to the
     sequential one, and [emit] is always called sequentially from the
-    calling domain.  The default comes from {!Par.default_domains}
+    calling domain.  Compiled pattern state (edge array, navs,
+    adjacency, the probe's memoised global candidate sets) is built once
+    and shared read-only across chunks; each chunk's instance carries
+    only its own bindings and emit buffer.  The fan-out is work-gated:
+    the job's cost estimate — first-choice-point candidates x pattern
+    size — must clear {!Par.cutoff} or the search stays sequential.  The
+    default for [domains] comes from {!Par.default_domains}
     ([GQL_DOMAINS] / [Par.set_default]).  The graph must not be mutated
     during a parallel search. *)
 let iter_embeddings ?(pre_bound = []) ?(provider = no_provider) ?domains
@@ -403,25 +440,57 @@ let iter_embeddings ?(pre_bound = []) ?(provider = no_provider) ?domains
     match domains with Some d -> max 1 d | None -> Par.default_domains ()
   in
   if Array.length pat.p_nodes = 0 then emit [||]
-  else if domains <= 1 then
-    (instance ~pre_bound ~provider pat g ~emit).i_run ~first:None
-  else begin
-    let probe = instance ~pre_bound ~provider pat g ~emit:ignore in
-    match probe.i_plan () with
-    | None -> (instance ~pre_bound ~provider pat g ~emit).i_run ~first:None
-    | Some (p, cands, sat) ->
-      let chunks =
-        Par.map_chunks ~domains ~n:(Iset.length cands) (fun lo hi ->
-            let buf = ref [] in
-            let inst =
-              instance ~pre_bound ~provider pat g ~emit:(fun e ->
-                  buf := e :: !buf)
-            in
-            inst.i_run ~first:(Some (p, Iset.sub cands lo (hi - lo), sat));
-            List.rev !buf)
+  else
+    let shared = make_shared ~provider pat in
+    let seq () =
+      (instance ~shared ~copy_cands:false ~pre_bound ~provider pat g ~emit)
+        .i_run ~first:None
+    in
+    if domains <= 1 then seq ()
+    else begin
+      let probe =
+        instance ~shared ~copy_cands:false ~pre_bound ~provider pat g
+          ~emit:ignore
       in
-      List.iter (fun chunk -> List.iter emit chunk) chunks
-  end
+      match probe.i_plan () with
+      | None -> seq ()
+      | Some (p, cands, sat) ->
+        let n = Iset.length cands in
+        let k = Array.length pat.p_nodes in
+        (* Work estimate for the gate.  The first choice point is the
+           *smallest* candidate set by fail-first design, so its length
+           alone would under-count a search that fans out per seed;
+           instead sum the global candidate sets the probe has already
+           memoised — the total candidate mass across pattern nodes —
+           plus a fixed weight per regular-path edge (a path constraint
+           hides a traversal, not one predicate test).  O(k), all
+           lengths O(1). *)
+        let cost =
+          let mass = ref (n * k) in
+          Array.iter
+            (function
+              | Some c -> mass := !mass + Iset.length c | None -> ())
+            shared.s_cands;
+          Array.iter
+            (fun (_, c, _) ->
+              match c with
+              | Path _ -> mass := !mass + (64 * n)
+              | Direct _ | Negated _ -> ())
+            shared.s_edges;
+          !mass
+        in
+        let chunks =
+          Par.map_chunks ~cost ~domains ~n (fun lo hi ->
+              let buf = Vec.create ~capacity:(max 16 (hi - lo)) ~dummy:[||] () in
+              let inst =
+                instance ~shared ~copy_cands:true ~pre_bound ~provider pat g
+                  ~emit:(fun e -> ignore (Vec.push buf e))
+              in
+              inst.i_run ~first:(Some (p, Iset.sub cands lo (hi - lo), sat));
+              buf)
+        in
+        List.iter (fun buf -> Vec.iteri (fun _ e -> emit e) buf) chunks
+    end
 
 exception Found
 

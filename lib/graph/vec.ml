@@ -4,7 +4,8 @@
 
 type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 
-let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+let create ?(capacity = 8) ~dummy () =
+  { data = Array.make (max 1 capacity) dummy; len = 0; dummy }
 let length v = v.len
 
 let get v i =

@@ -10,6 +10,12 @@
     [Par.auto_domains] then only spends the capacity that idle workers
     leave over, so a burst of clients cannot oversubscribe the machine
     while a lone request may still fan out across the whole budget.
+    This composes with Par's own persistent worker pool: a request that
+    does fan out submits a job to Par's parked domains rather than
+    spawning fresh ones, and its submitting connection worker holds the
+    extra budget units only while that job runs.  (The two pools stay
+    separate on purpose — these workers block on sockets, Par's never
+    do, so a slow client can't starve query parallelism.)
 
     [shutdown] drains nothing: it wakes every worker, lets in-flight
     jobs finish, and joins the domains — callers close listeners first

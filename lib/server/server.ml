@@ -166,7 +166,10 @@ let handle_request t (req : Protocol.request) ~(started : float) :
   match req with
   | Protocol.Ping -> ok ~info:"pong" ""
   | Protocol.Quit -> ok ~info:"bye" ""
-  | Protocol.Metrics -> ok (Metrics.render t.metrics)
+  | Protocol.Metrics ->
+    (* server counters plus the Par scheduler's slice: jobs, chunks,
+       steals, sequential-fallback reasons, spawn failures *)
+    ok (Metrics.render t.metrics ^ Gql_graph.Par.stats_lines ())
   | Protocol.Load { doc; xml } -> (
     match Registry.load_xml t.registry ~name:doc xml with
     | Error msg -> Protocol.Err msg

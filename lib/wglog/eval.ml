@@ -726,7 +726,17 @@ let run ?(strategy = `Semi_naive) ?(use_index = true) ?(max_rounds = 1000)
                the union is the one a sequential run produces. *)
             let seeds = delta_seeds data cq ~last_gen:(gen - 1) in
             let matched =
-              Gql_graph.Par.concat_map_chunks ~domains
+              (* work estimate: each seed completes an embedding around
+                 one pinned edge — pattern-sized backtracking, not a
+                 whole-graph match — so charge a small constant per
+                 pattern element per seed *)
+              let cost =
+                List.length seeds
+                * (Array.length cq.pattern.Gql_graph.Homo.p_nodes
+                  + cq.n_pattern_edges)
+                * 4
+              in
+              Gql_graph.Par.concat_map_chunks ~cost ~domains
                 (fun pre_bound -> query_embeddings ~pre_bound data r cq)
                 seeds
             in

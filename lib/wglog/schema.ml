@@ -165,6 +165,23 @@ let restaurant_schema : t =
       ];
   }
 
+(** The schema of the million-node parallel-scaling fixtures
+    ({!Gql_workload.Gen.wide_graph} / [deep_graph] / [skewed_graph]):
+    hubs own items, chain heads thread cells ([next] continues
+    cell-to-cell, traversed only through path edges, which are
+    schema-unchecked by design), groups own members. *)
+let scale_schema : t =
+  {
+    entities = [ "Hub"; "Item"; "Head"; "Cell"; "Group"; "Member" ];
+    slots = [];
+    edge_types =
+      [
+        { et_name = "rel"; et_src = "Hub"; et_dst = "Item"; et_mult = M_one_many };
+        { et_name = "next"; et_src = "Head"; et_dst = "Cell"; et_mult = M_many_many };
+        { et_name = "member"; et_src = "Group"; et_dst = "Member"; et_mult = M_one_many };
+      ];
+  }
+
 (** The hyperdocument schema backing the GraphLog figures: documents
     connected by [link]/[index] edges; derived [sibling] and [root]. *)
 let hyperdoc_schema : t =

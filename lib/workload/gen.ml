@@ -281,6 +281,88 @@ let labelled_graph ?(seed = 17) ?(labels = 100) ?(per_label = 500)
   done;
   g
 
+(* --- million-node parallel-scaling fixtures ----------------------------- *)
+
+(* The E13v2 graphs: entity graphs big enough (>= 1M nodes) that domain-
+   parallel matching has real work to split, each stressing a different
+   shape of the chunk scheduler.  All three keep the *first choice
+   point* small — the fail-first scorer starts from the rarest label —
+   so the per-seed completion work, not the seed count, carries the
+   cost; that is exactly the shape where per-chunk setup used to
+   dominate.  No atoms are attached: every node is a labelled entity,
+   so node count == entity count. *)
+
+(** Wide: [hubs] "Hub" entities each owning ~[n/hubs] of the [n] "Item"
+    entities via a [rel] edge.  Matching [Hub -rel-> Item] binds a hub
+    first (small candidate set) and fans out over its members — many
+    equal-sized seeds, the friendly case for chunking. *)
+let wide_graph ?(seed = 19) ?(hubs = 1024) n : Gql_data.Graph.t =
+  let open Gql_data in
+  let rng = Prng.create seed in
+  let g = Graph.create () in
+  let hubs = max 1 hubs in
+  let hub_nodes = Array.init hubs (fun _ -> Graph.add_complex g "Hub") in
+  Graph.add_root g hub_nodes.(0);
+  for _ = 1 to n do
+    let item = Graph.add_complex g "Item" in
+    Graph.link g ~src:hub_nodes.(Prng.int rng hubs) ~dst:item
+      (Graph.rel_edge "rel")
+  done;
+  g
+
+(** Deep: [chains] linked lists of "Cell" entities (heads labelled
+    "Head"), [n/chains] long, threaded by [next] edges.  Matching
+    [Head -next+-> Cell] walks one whole chain per seed — few seeds,
+    each hiding a long regular-path traversal. *)
+let deep_graph ?(seed = 23) ?(chains = 2048) n : Gql_data.Graph.t =
+  let open Gql_data in
+  ignore seed;
+  let g = Graph.create () in
+  let chains = max 1 chains in
+  let depth = max 2 (n / chains) in
+  for c = 0 to chains - 1 do
+    let head = Graph.add_complex g "Head" in
+    if c = 0 then Graph.add_root g head;
+    let prev = ref head in
+    for _ = 2 to depth do
+      let cell = Graph.add_complex g "Cell" in
+      Graph.link g ~src:!prev ~dst:cell (Graph.rel_edge "next");
+      prev := cell
+    done
+  done;
+  g
+
+(** Skewed: [groups] "Group" entities whose "Member" populations follow
+    a harmonic distribution — group 0 owns ~[n/H(groups)] members,
+    group [i] a [1/(i+1)] share — connected by [member] edges.  Seed
+    costs differ by orders of magnitude, so static chunking loses and
+    the adaptive granularity + work stealing have to earn their keep. *)
+let skewed_graph ?(seed = 29) ?(groups = 512) n : Gql_data.Graph.t =
+  let open Gql_data in
+  let g = Graph.create () in
+  ignore seed;
+  let groups = max 1 groups in
+  let harmonic =
+    let h = ref 0.0 in
+    for i = 1 to groups do
+      h := !h +. (1.0 /. float_of_int i)
+    done;
+    !h
+  in
+  let group_nodes = Array.init groups (fun _ -> Graph.add_complex g "Group") in
+  Graph.add_root g group_nodes.(0);
+  Array.iteri
+    (fun i grp ->
+      let share =
+        int_of_float (float_of_int n /. (float_of_int (i + 1) *. harmonic))
+      in
+      for _ = 1 to max 1 share do
+        let m = Graph.add_complex g "Member" in
+        Graph.link g ~src:grp ~dst:m (Graph.rel_edge "member")
+      done)
+    group_nodes;
+  g
+
 (* --- random trees ------------------------------------------------------ *)
 
 let tag_pool = [| "a"; "b"; "c"; "d"; "e"; "item"; "entry"; "node" |]

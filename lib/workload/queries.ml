@@ -243,6 +243,38 @@ rule
 end
 |}
 
+(* Q13-Q15: pure-goal queries over the million-node parallel-scaling
+   fixtures (Gen.wide_graph / deep_graph / skewed_graph).  Each binds
+   the rare label first — the fail-first scorer guarantees it — and
+   completes per-seed, so all the work sits past the first choice
+   point, the shape E13v2 measures. *)
+let q13_src =
+  {|wglog
+rule
+  node h Hub
+  node i Item
+  edge h rel i
+end
+|}
+
+let q14_src =
+  {|wglog
+rule
+  node h Head
+  node t Cell
+  pathedge h next+ t
+end
+|}
+
+let q15_src =
+  {|wglog
+rule
+  node g Group
+  node m Member
+  edge g member m
+end
+|}
+
 (* --- parsed forms, memoised ----------------------------------------- *)
 
 let parse_xmlgl = Gql_lang.Xmlgl_text.parse_program
@@ -260,6 +292,9 @@ let q9 = lazy (parse_xmlgl q9_src)
 let q10 = lazy (parse_wglog ~schema:Gql_wglog.Schema.restaurant_schema q10_src)
 let q11 = lazy (parse_wglog ~schema:Gql_wglog.Schema.hyperdoc_schema q11_src)
 let q12 = lazy (parse_wglog ~schema:Gql_wglog.Schema.hyperdoc_schema q12_src)
+let q13 = lazy (parse_wglog ~schema:Gql_wglog.Schema.scale_schema q13_src)
+let q14 = lazy (parse_wglog ~schema:Gql_wglog.Schema.scale_schema q14_src)
+let q15 = lazy (parse_wglog ~schema:Gql_wglog.Schema.scale_schema q15_src)
 
 type entry = {
   name : string;

@@ -77,6 +77,58 @@ let test_nested_call_degrades () =
   List.iter (fun c -> check_int "inner call collapsed to one chunk" 1 c)
     inner_chunks
 
+(* --- the persistent pool ----------------------------------------------- *)
+
+let test_pool_reuse () =
+  (* a first fan-out may grow the pool; later fan-outs must ride the
+     parked workers instead of spawning again *)
+  ignore (Par.map_chunks ~domains:4 ~n:64 (fun lo hi -> hi - lo));
+  let before = Par.stats () in
+  for _ = 1 to 5 do
+    ignore (Par.map_chunks ~domains:4 ~n:64 (fun lo hi -> hi - lo))
+  done;
+  let d = Par.stats_diff ~before (Par.stats ()) in
+  check_int "no new workers for a warm pool" 0 d.Par.workers_spawned;
+  check_int "five jobs submitted" 5 d.Par.jobs;
+  check "chunks were executed" true (d.Par.chunks > 0);
+  check_int "no spawn failures" 0 d.Par.spawn_failures
+
+let test_stats_fallback_reasons () =
+  let before = Par.stats () in
+  (* below-cutoff cost: sequential, no pool traffic *)
+  ignore (Par.map_chunks ~cost:1 ~domains:4 ~n:64 (fun lo hi -> hi - lo));
+  (* solo: explicit 1 domain *)
+  ignore (Par.map_chunks ~domains:1 ~n:64 (fun lo hi -> hi - lo));
+  let d = Par.stats_diff ~before (Par.stats ()) in
+  check_int "cutoff fallback counted" 1 d.Par.seq_below_cutoff;
+  check_int "solo fallback counted" 1 d.Par.seq_solo;
+  check_int "no jobs reached the pool" 0 d.Par.jobs;
+  (* nested: one inner call per outer chunk, counted wherever it ran *)
+  let before = Par.stats () in
+  let inner =
+    Par.map_chunks ~domains:4 ~n:8 (fun _ _ ->
+        ignore (Par.map_chunks ~domains:4 ~n:32 (fun lo hi -> hi - lo)))
+  in
+  let d = Par.stats_diff ~before (Par.stats ()) in
+  check_int "every nested call degraded" (List.length inner) d.Par.seq_nested
+
+let test_burst_budget () =
+  (* eight concurrent clients, each charging one budget unit around its
+     own fan-out (the serve pool's shape): everything must be refunded,
+     and the scheduler must still answer correctly under contention *)
+  let before = Par.auto_domains () in
+  let clients =
+    List.init 8 (fun _ ->
+        Domain.spawn (fun () ->
+            Par.charged (fun () ->
+                Par.map_chunks ~domains:2 ~n:128 (fun lo hi -> hi - lo)
+                |> List.fold_left ( + ) 0)))
+  in
+  List.iter
+    (fun c -> check_int "client saw the whole range" 128 (Domain.join c))
+    clients;
+  check_int "burst refunded every unit" before (Par.auto_domains ())
+
 (* --- determinism across engines --------------------------------------- *)
 
 let bindings_at domains graph q index =
@@ -230,6 +282,35 @@ let test_wglog_parallel_round_adds_nodes () =
         (par_edges = seq_edges))
     [ 2; 4; 8 ]
 
+(* --- the large fixture ------------------------------------------------- *)
+
+let test_million_node_identity () =
+  (* a >= 1M-node graph: big enough that the cost estimate clears the
+     default cutoff, so 2- and 8-domain runs really go through the pool
+     — and must still enumerate byte-identically to sequential *)
+  let g = Gql_workload.Gen.wide_graph ~seed:31 ~hubs:256 1_000_000 in
+  check "fixture is >= 1M nodes" true (Graph.n_nodes g >= 1_000_000);
+  let rule =
+    (Gql_lang.Wglog_text.parse_program ~schema:Gql_wglog.Schema.scale_schema
+       Gql_workload.Queries.q13_src)
+      .Gql_wglog.Ast.rules
+    |> List.hd
+  in
+  let at domains = Gql_wglog.Eval.goal ~domains g rule in
+  let seq = at 1 in
+  check "sequential run finds the million embeddings" true
+    (List.length seq >= 1_000_000);
+  let before = Par.stats () in
+  List.iter
+    (fun domains ->
+      check
+        (Printf.sprintf "identical at %d domains" domains)
+        true
+        (at domains = seq))
+    [ 2; 8 ];
+  let d = Par.stats_diff ~before (Par.stats ()) in
+  check "parallel runs actually used the pool" true (d.Par.jobs >= 2)
+
 let () =
   Alcotest.run "par"
     [
@@ -247,6 +328,17 @@ let () =
             test_budget_accounting;
           Alcotest.test_case "nested call degrades to sequential" `Quick
             test_nested_call_degrades;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "workers are reused across jobs" `Quick
+            test_pool_reuse;
+          Alcotest.test_case "fallback reasons are counted" `Quick
+            test_stats_fallback_reasons;
+          Alcotest.test_case "8-client burst refunds the budget" `Quick
+            test_burst_budget;
+          Alcotest.test_case "million-node fixture 1/2/8 domains" `Slow
+            test_million_node_identity;
         ] );
       ( "determinism",
         [

@@ -363,7 +363,12 @@ let test_stats_metrics_errors () =
             check_bool "requests counted" true
               (int_of_string (List.assoc "requests" kv) >= 4);
             check_bool "timeout counted" true
-              (int_of_string (List.assoc "timeouts" kv) >= 1)
+              (int_of_string (List.assoc "timeouts" kv) >= 1);
+            (* the Par scheduler's slice rides along *)
+            check_bool "par stats exported" true
+              (List.mem_assoc "par_jobs" kv
+              && List.mem_assoc "par_seq_below_cutoff" kv
+              && List.mem_assoc "par_cutoff" kv)
           | Error m -> Alcotest.fail m))
 
 (* --- snapshot versioning over the wire ------------------------------------ *)
