@@ -593,6 +593,10 @@ let e12 () =
       ignore
         (Gql_server.Server.wglog_stats_line
            (Gql_wglog.Eval.run (Gql_server.Registry.fork snap) p))
+    | `Match ->
+      let q = Gql_core.Gql.parse_match q.source in
+      ignore
+        (Gql_match.Eval.run ~index:snap.Gql_server.Registry.index graph q)
     | `Unknown -> failwith "E12: unknown query language"
   in
   let t0 = Unix.gettimeofday () in

@@ -51,6 +51,9 @@ let wrap f =
   | Gql_xmlgl.Engine.Ill_formed errs ->
     prerr_endline ("error: invalid query: " ^ String.concat "; " errs);
     1
+  | Gql_match.Parse.Error msg | Gql_match.Compile.Error msg ->
+    prerr_endline ("error: invalid query: " ^ msg);
+    1
   | Gql_xpath.Eval.Eval_error msg ->
     prerr_endline ("error: XPath: " ^ msg);
     1
@@ -109,7 +112,18 @@ let run_cmd =
             close_out oc;
             Printf.printf "wrote saturated graph to %s (DOT)\n" f
           | None -> ())
-        | `Unknown -> failwith "query file must start with 'xmlgl' or 'wglog'")
+        | `Match ->
+          let db = require_db data in
+          let body, _rows = Gql_core.Gql.run_match_text db source in
+          (match out with
+          | Some f ->
+            let oc = open_out f in
+            output_string oc body;
+            close_out oc;
+            Printf.printf "wrote %s\n" f
+          | None -> print_string body)
+        | `Unknown ->
+          failwith "query file must start with 'xmlgl', 'wglog' or 'match'")
   in
   let info = Cmd.info "run" ~doc:"Evaluate a graphical query against a database." in
   Cmd.v info
@@ -172,7 +186,8 @@ let render_cmd =
                 Gql_core.Gql.rule_diagram_wglog
                   ~title:(Printf.sprintf "rule %d" (i + 1)) r)
               p.Gql_wglog.Ast.rules
-          | `Unknown -> failwith "query file must start with 'xmlgl' or 'wglog'"
+          | `Match -> failwith "render supports the visual languages (XML-GL, WG-Log)"
+          | `Unknown -> failwith "query file must start with 'xmlgl', 'wglog' or 'match'"
         in
         if ascii then
           List.iter (fun d -> print_string (Gql_core.Gql.render_ascii d)) diagrams
@@ -203,8 +218,12 @@ let explain_cmd =
         | `Xmlgl ->
           let db = require_db data in
           print_string (Gql_core.Gql.explain_xmlgl db (Gql_core.Gql.parse_xmlgl source))
-        | `Wglog -> failwith "explain supports XML-GL queries"
-        | `Unknown -> failwith "query file must start with 'xmlgl' or 'wglog'")
+        | `Wglog -> failwith "explain supports XML-GL and MATCH queries"
+        | `Match ->
+          let db = require_db data in
+          print_string (Gql_core.Gql.explain_match db (Gql_core.Gql.parse_match source))
+        | `Unknown ->
+          failwith "query file must start with 'xmlgl', 'wglog' or 'match'")
   in
   let info = Cmd.info "explain" ~doc:"Show the physical plan for a query." in
   Cmd.v info Term.(const action $ data_arg $ query_arg)
@@ -382,7 +401,8 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Oracle to run: scan-vs-index, digraph-vs-csr, engine-vs-algebra, \
-       direct-vs-served or seq-vs-par.  Repeatable; default is all five."
+       direct-vs-served, seq-vs-par or match-vs-algebra.  Repeatable; \
+       default is all six."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
   in

@@ -71,8 +71,11 @@ let of_graph (graph : Gql_data.Graph.t) : db =
 
 (** Which front-end a query source selects: the first word of the first
     non-empty, non-comment line, compared case-insensitively and as an
-    exact word — [WGLOG] parses, [wglogx] does not. *)
-let language_of_source (source : string) : [ `Wglog | `Xmlgl | `Unknown ] =
+    exact word — [WGLOG] parses, [wglogx] does not.  [MATCH] selects
+    the textual GPML-style front-end; a WG-Log program whose *labels*
+    mention "match" is unaffected because its first word is [wglog]. *)
+let language_of_source (source : string) :
+    [ `Wglog | `Xmlgl | `Match | `Unknown ] =
   let header =
     String.split_on_char '\n' source
     |> List.map String.trim
@@ -88,6 +91,7 @@ let language_of_source (source : string) : [ `Wglog | `Xmlgl | `Unknown ] =
     match String.lowercase_ascii first_word with
     | "wglog" -> `Wglog
     | "xmlgl" -> `Xmlgl
+    | "match" -> `Match
     | _ -> `Unknown)
 
 (* ------------------------------------------------------------------ *)
@@ -147,6 +151,36 @@ let run_wglog_text ?schema ?strategy ?domains (db : db) (src : string) :
 
 let wglog_goal (db : db) (r : Gql_wglog.Ast.rule) =
   Gql_wglog.Eval.goal ~index:(index db) db.graph r
+
+(* ------------------------------------------------------------------ *)
+(* MATCH (textual GPML-style front-end)                                *)
+(* ------------------------------------------------------------------ *)
+
+let parse_match (src : string) : Gql_match.Ast.query =
+  match Gql_match.Parse.parse_result src with
+  | Ok q -> q
+  | Error msg -> fail "MATCH parse error: %s" msg
+
+let run_match ?domains (db : db) (q : Gql_match.Ast.query) : string * int =
+  match Gql_match.Eval.run ~index:(index db) ?domains db.graph q with
+  | r -> r
+  | exception Gql_match.Compile.Error msg -> fail "MATCH compile error: %s" msg
+
+let run_match_text ?domains (db : db) (src : string) : string * int =
+  run_match ?domains db (parse_match src)
+
+let match_bindings (db : db) (q : Gql_match.Ast.query) : int array list =
+  match
+    Gql_match.Eval.bindings ~index:(index db) db.graph
+      (Gql_match.Compile.compile q)
+  with
+  | r -> r
+  | exception Gql_match.Compile.Error msg -> fail "MATCH compile error: %s" msg
+
+let explain_match ?strategy (db : db) (q : Gql_match.Ast.query) : string =
+  match Gql_match.Eval.explain ?strategy ~index:(index db) db.graph q with
+  | r -> r
+  | exception Gql_match.Compile.Error msg -> fail "MATCH compile error: %s" msg
 
 (* ------------------------------------------------------------------ *)
 (* XPath baseline                                                      *)

@@ -46,11 +46,12 @@ val index : db -> Gql_data.Index.t
 (** The frozen {!Gql_data.Index} over [db.graph], built on first use and
     cached until the graph grows. *)
 
-val language_of_source : string -> [ `Wglog | `Xmlgl | `Unknown ]
+val language_of_source : string -> [ `Wglog | `Xmlgl | `Match | `Unknown ]
 (** Which front-end a query source selects: the first word of its first
     non-empty, non-comment ([#]) line, compared case-insensitively and
     as an exact word — so [WGLOG] selects WG-Log but [wglogx] selects
-    nothing.  Shared by the CLI and the query service. *)
+    nothing, and a WG-Log program mentioning "MATCH" in a label is not
+    misclassified.  Shared by the CLI and the query service. *)
 
 (** {1 XML-GL} *)
 
@@ -99,6 +100,28 @@ val run_wglog_text :
 val wglog_goal : db -> Gql_wglog.Ast.rule -> int array list
 (** Evaluate a pure query rule; returns its embeddings without deriving
     anything. *)
+
+(** {1 MATCH — the textual GPML-style front-end} *)
+
+val parse_match : string -> Gql_match.Ast.query
+(** Parse a textual [MATCH ... RETURN ...] query (see [lib/match] for
+    the grammar).  @raise Error with line/column positions on bad
+    input. *)
+
+val run_match : ?domains:int -> db -> Gql_match.Ast.query -> string * int
+(** Evaluate through the algebra (greedy plan, index provider): returns
+    the canonical result body — header line plus sorted binding rows,
+    tab-separated — and the row count.  @raise Error on compile errors
+    (unknown variables etc.). *)
+
+val run_match_text : ?domains:int -> db -> string -> string * int
+
+val match_bindings : db -> Gql_match.Ast.query -> int array list
+(** Raw embeddings via the direct matcher (inspection / testing). *)
+
+val explain_match :
+  ?strategy:[ `Fixed | `Greedy ] -> db -> Gql_match.Ast.query -> string
+(** EXPLAIN: the physical plan the algebra would execute. *)
 
 (** {1 The navigational baseline} *)
 

@@ -22,6 +22,7 @@ type case = {
   wglog_src : string;  (** a well-formed WG-Log program over it *)
   graph_seed : int;  (** seed of the labelled digraph of the path oracle *)
   regex_src : string;  (** textual label regex for the path oracle *)
+  match_src : string;  (** a well-formed textual MATCH query over [xml] *)
 }
 
 let tags = [| "a"; "b"; "c"; "d"; "e"; "item"; "entry"; "node" |]
@@ -151,6 +152,107 @@ let gen_wglog rng : string =
     failwith ("casegen produced ill-formed WG-Log: " ^ String.concat "; " errs));
   Gql_lang.Pp.wglog_program p
 
+(* --- textual MATCH queries --------------------------------------------- *)
+
+(* Over an encoded document, containment edges carry the empty name (so
+   only [-[]->] and path wildcards traverse them), attribute slots are
+   named ("id" on every generated element, "ref" sometimes), and
+   complex-node labels are the element tags.  The generator builds an
+   AST and prints it, so every case also exercises {!Gql_match.Pp} and
+   the parser — the same route a served RUN takes. *)
+let match_path_specs = [| "."; ".."; ".+"; ".?"; "id|ref" |]
+
+let gen_match rng : string =
+  let open Gql_match.Ast in
+  let nv = ref 0 in
+  let vars = ref [] in
+  let fresh_var () =
+    let v = Printf.sprintf "v%d" !nv in
+    incr nv;
+    vars := v :: !vars;
+    v
+  in
+  let pick_var () = List.nth !vars (Prng.int rng (List.length !vars)) in
+  let fresh_node ~label_one_in =
+    let l = if Prng.int rng label_one_in = 0 then Some (pick_tag rng) else None in
+    { n_var = Some (fresh_var ()); n_label = l }
+  in
+  let dst_node () =
+    if Prng.int rng 4 = 0 then
+      (* anonymous: still constrains the pattern, cannot be returned *)
+      { n_var = None;
+        n_label = (if Prng.bool rng then Some (pick_tag rng) else None) }
+    else fresh_node ~label_one_in:2
+  in
+  let edge () =
+    let e_var =
+      if Prng.int rng 6 = 0 then Some (Printf.sprintf "e%d" (Prng.int rng 10))
+      else None
+    in
+    match Prng.int rng 8 with
+    | 0 | 1 | 2 -> { e_var; e_spec = Any; e_dir = Out }
+    | 3 -> { e_var; e_spec = Any; e_dir = In }
+    | 4 -> { e_var; e_spec = Label "id"; e_dir = Out }
+    | 5 -> { e_var; e_spec = Label "ref"; e_dir = Out }
+    (* no In-direction path edges: backward closure over a path regex
+       costs a whole-graph scan per binding, and adds no coverage *)
+    | _ -> { e_var; e_spec = Regex (Prng.pick rng match_path_specs); e_dir = Out }
+  in
+  let chain_from head n_hops =
+    { head; hops = List.init n_hops (fun _ -> (edge (), dst_node ())) }
+  in
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  add (Match (chain_from (fresh_node ~label_one_in:2) (1 + Prng.int rng 2)));
+  (* sometimes a second chain, anchored on a bound variable so the
+     pattern stays connected (no cross-product blow-up) *)
+  if Prng.int rng 3 = 0 then
+    add
+      (Match (chain_from { n_var = Some (pick_var ()); n_label = None } 1));
+  if Prng.int rng 3 = 0 then begin
+    let cond () =
+      let v = pick_var () in
+      match Prng.int rng 5 with
+      | 0 -> { lhs = Var v; op = Ne; rhs = Lit (Gql_data.Value.string "n1") }
+      | 1 -> { lhs = Var v; op = Lt; rhs = Lit (Gql_data.Value.int (Prng.int rng 1000)) }
+      | 2 -> { lhs = Var v; op = Ge; rhs = Lit (Gql_data.Value.int (Prng.int rng 1000)) }
+      | 3 -> { lhs = Var v; op = Eq; rhs = Var (pick_var ()) }
+      | _ ->
+        { lhs = Var v; op = Le;
+          rhs = Lit (Gql_data.Value.Float (float_of_int (Prng.int rng 100) /. 4.)) }
+    in
+    let c0 = cond () in
+    add (Where (if Prng.int rng 3 = 0 then [ c0; cond () ] else [ c0 ]))
+  end;
+  if Prng.int rng 4 = 0 then begin
+    let a = { n_var = Some (pick_var ()); n_label = None } in
+    let inner =
+      if Prng.bool rng then
+        (* both endpoints bound: lowers to an in-search Negated edge *)
+        { head = a;
+          hops =
+            [ ( { e_var = None;
+                  e_spec = (if Prng.bool rng then Any else Label "ref");
+                  e_dir = Out },
+                { n_var = Some (pick_var ()); n_label = None } ) ] }
+      else
+        (* fresh labelled endpoint: becomes an exists-subpattern residual *)
+        { head = a;
+          hops =
+            [ ( { e_var = None; e_spec = Any; e_dir = Out },
+                { n_var = None; n_label = Some (pick_tag rng) } ) ] }
+    in
+    add (Not_exists inner)
+  end;
+  let pool = List.rev !vars in
+  let n_rets = 1 + Prng.int rng (min 2 (List.length pool)) in
+  let returns =
+    List.filteri (fun i _ -> i < n_rets) pool
+    |> List.map (fun v -> if Prng.bool rng then Node v else Value v)
+  in
+  let q = { clauses = List.rev !clauses; returns } in
+  Gql_match.Pp.query q
+
 (* --- label regexes for the path oracle ---------------------------------- *)
 
 let regex_labels = [| "a"; "b"; "c"; "." |]
@@ -207,4 +309,7 @@ let generate ~seed : case =
   let wglog_src = gen_wglog rng in
   let graph_seed = Prng.int rng 1_000_000 in
   let regex_src = gen_regex rng in
-  { seed; xml; xmlgl_src; wglog_src; graph_seed; regex_src }
+  (* drawn last so the artifacts above keep their per-seed bytes from
+     before the MATCH front-end existed *)
+  let match_src = gen_match rng in
+  { seed; xml; xmlgl_src; wglog_src; graph_seed; regex_src; match_src }

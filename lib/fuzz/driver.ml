@@ -45,6 +45,10 @@ let prog_parses (source : string) : bool =
     match Gql_core.Gql.parse_wglog source with
     | _ -> true
     | exception _ -> false)
+  | `Match -> (
+    match Gql_core.Gql.parse_match source with
+    | _ -> true
+    | exception _ -> false)
   | `Unknown -> false
 
 let regex_parses (source : string) : bool =
@@ -105,7 +109,16 @@ let checks_for ~(transport : Oracle.transport option)
           (fun source ->
             { oracle; xml = c.Casegen.xml; source; parses = prog_parses;
               rerun = (fun ~xml ~source -> Oracle.seq_vs_par ~xml ~source) })
-          [ c.Casegen.xmlgl_src; c.Casegen.wglog_src ]
+          [ c.Casegen.xmlgl_src; c.Casegen.wglog_src; c.Casegen.match_src ]
+      | Oracle.Match_vs_algebra ->
+        (* the in-process route comparison always runs; the served legs
+           join in whenever the fuzz loop has a live server *)
+        [ { oracle; xml = c.Casegen.xml; source = c.Casegen.match_src;
+            parses = prog_parses;
+            rerun =
+              (fun ~xml ~source ->
+                Oracle.match_vs_algebra transport ~doc_name:(fresh_doc ())
+                  ~xml ~source) } ]
       )
     oracles
 
@@ -179,8 +192,11 @@ let run (cfg : config) : outcome =
     { cases_run = cfg.cases; checks_run = !checks_run;
       failures = List.rev !failures }
   in
-  if List.mem Oracle.Direct_vs_served cfg.oracles then
-    with_served (fun t -> body (Some t))
+  if
+    List.exists
+      (fun o -> o = Oracle.Direct_vs_served || o = Oracle.Match_vs_algebra)
+      cfg.oracles
+  then with_served (fun t -> body (Some t))
   else body None
 
 (** Re-judge a stored repro.  [direct-vs-served] replays against a
@@ -207,4 +223,14 @@ let replay (r : Corpus.repro) : Oracle.verdict =
         guard (fun () ->
             Oracle.direct_vs_served
               (Oracle.inproc_transport server)
+              ~doc_name:"repro" ~xml:r.xml ~source:r.source))
+  | Some Oracle.Match_vs_algebra ->
+    let config = { Server.default_config with workers = Some 1 } in
+    let server = Server.create ~config () in
+    Fun.protect
+      ~finally:(fun () -> Server.stop server)
+      (fun () ->
+        guard (fun () ->
+            Oracle.match_vs_algebra
+              (Some (Oracle.inproc_transport server))
               ~doc_name:"repro" ~xml:r.xml ~source:r.source))

@@ -1,4 +1,4 @@
-(** The five differential oracles.
+(** The six differential oracles.
 
     Each oracle evaluates the same question along two redundant paths
     that share as little code as possible and demands byte-identical
@@ -15,7 +15,11 @@
       round-trip, cold and cached;
     - {!seq_vs_par}: 1-domain vs. N-domain evaluation — bindings, goal
       embeddings, fixpoint statistics and the derived graph must all be
-      byte-identical (the determinism guarantee of [Gql_graph.Par]).
+      byte-identical (the determinism guarantee of [Gql_graph.Par]);
+    - {!match_vs_algebra}: the textual [MATCH] front-end — parse→pp→parse
+      identity, then the canonical result body along four in-process
+      routes (direct matcher scan/indexed, algebra greedy/fixed) and
+      through a served round-trip, cold and cached.
 
     Any disagreement — including one side raising where the other
     answers — is a {!Fail}; uncaught exceptions are converted to
@@ -28,10 +32,11 @@ type name =
   | Engine_vs_algebra
   | Direct_vs_served
   | Seq_vs_par
+  | Match_vs_algebra
 
 let all =
   [ Scan_vs_index; Digraph_vs_csr; Engine_vs_algebra; Direct_vs_served;
-    Seq_vs_par ]
+    Seq_vs_par; Match_vs_algebra ]
 
 let to_string = function
   | Scan_vs_index -> "scan-vs-index"
@@ -39,6 +44,7 @@ let to_string = function
   | Engine_vs_algebra -> "engine-vs-algebra"
   | Direct_vs_served -> "direct-vs-served"
   | Seq_vs_par -> "seq-vs-par"
+  | Match_vs_algebra -> "match-vs-algebra"
 
 let of_string = function
   | "scan-vs-index" -> Some Scan_vs_index
@@ -46,6 +52,7 @@ let of_string = function
   | "engine-vs-algebra" -> Some Engine_vs_algebra
   | "direct-vs-served" -> Some Direct_vs_served
   | "seq-vs-par" -> Some Seq_vs_par
+  | "match-vs-algebra" -> Some Match_vs_algebra
   | _ -> None
 
 type verdict = Pass | Fail of string
@@ -64,6 +71,8 @@ let capture (f : unit -> 'a) : ('a, string) result =
     Error ("invalid query: " ^ msg)
   | exception Gql_xmlgl.Engine.Ill_formed errs ->
     Error ("invalid query: " ^ String.concat "; " errs)
+  | exception Gql_match.Parse.Error msg -> Error ("match parse: " ^ msg)
+  | exception Gql_match.Compile.Error msg -> Error ("invalid query: " ^ msg)
   | exception Failure msg -> Error ("failure: " ^ msg)
 
 let norm_bindings (bs : int array list) : int list list =
@@ -122,6 +131,23 @@ let scan_vs_index ~(xml : string) ~(source : string) : verdict =
       | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
       | Ok _, Error e -> failf "indexed raised where scan answered: %s" e
       | Error e, Ok _ -> failf "scan raised where indexed answered: %s" e)
+    | `Match -> (
+      let run use_index =
+        capture (fun () ->
+            let q = Gql_core.Gql.parse_match source in
+            let c = Gql_match.Compile.compile q in
+            let index = if use_index then Some (Gql_core.Gql.index db) else None in
+            Gql_match.Eval.bindings ?index data c)
+      in
+      match run false, run true with
+      | Ok scan, Ok indexed ->
+        if List.map Array.to_list scan = List.map Array.to_list indexed then Pass
+        else
+          failf "match embeddings differ: scan=%d indexed=%d" (List.length scan)
+            (List.length indexed)
+      | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
+      | Ok _, Error e -> failf "indexed raised where scan answered: %s" e
+      | Error e, Ok _ -> failf "scan raised where indexed answered: %s" e)
     | `Unknown -> failf "query source has no language header")
 
 (* ------------------------------------------------------------------ *)
@@ -161,6 +187,7 @@ let digraph_vs_csr ~(graph_seed : int) ~(regex_src : string) : verdict =
 let engine_vs_algebra ~(xml : string) ~(source : string) : verdict =
   match Gql_core.Gql.language_of_source source with
   | `Wglog | `Unknown -> Pass (* the algebra path plans XML-GL queries *)
+  | `Match -> Pass (* covered, more strictly, by match_vs_algebra *)
   | `Xmlgl -> (
     match
       capture (fun () ->
@@ -227,7 +254,9 @@ let direct_body ~xml ~source : (string, string) result =
       | `Wglog ->
         Gql_server.Server.wglog_stats_line
           (Gql_core.Gql.run_wglog db (Gql_core.Gql.parse_wglog source))
-      | `Unknown -> failwith "query source must start with 'xmlgl' or 'wglog'")
+      | `Match -> fst (Gql_core.Gql.run_match db (Gql_core.Gql.parse_match source))
+      | `Unknown ->
+        failwith "query source must start with 'xmlgl', 'wglog' or 'match'")
 
 let direct_vs_served (t : transport) ~(doc_name : string) ~(xml : string)
     ~(source : string) : verdict =
@@ -309,6 +338,30 @@ let seq_vs_par ~(xml : string) ~(source : string) : verdict =
     | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
     | Ok _, Error e -> failf "parallel raised where sequential answered: %s" e
     | Error e, Ok _ -> failf "sequential raised where parallel answered: %s" e)
+  | `Match -> (
+    (* raw embedding order through both the direct matcher and the
+       algebra executor must not depend on the domain count *)
+    let run domains =
+      capture (fun () ->
+          let db = Gql_core.Gql.load_xml_string xml in
+          let q = Gql_core.Gql.parse_match source in
+          let c = Gql_match.Compile.compile q in
+          let index = Gql_core.Gql.index db in
+          let data = db.Gql_core.Gql.graph in
+          ( List.map Array.to_list (Gql_match.Eval.bindings ~index ~domains data c),
+            List.map Array.to_list
+              (Gql_match.Eval.bindings_algebra ~index ~domains data c) ))
+    in
+    match run 1, run par_domains with
+    | Ok seq, Ok par ->
+      if seq = par then Pass
+      else
+        failf "match bindings differ: seq=%d/%d par=%d/%d"
+          (List.length (fst seq)) (List.length (snd seq))
+          (List.length (fst par)) (List.length (snd par))
+    | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
+    | Ok _, Error e -> failf "parallel raised where sequential answered: %s" e
+    | Error e, Ok _ -> failf "sequential raised where parallel answered: %s" e)
   | `Wglog -> (
     (* goal embeddings AND the full fixpoint (stats + derived graph) *)
     let run domains =
@@ -342,3 +395,120 @@ let seq_vs_par ~(xml : string) ~(source : string) : verdict =
     | Error a, Error b -> if a = b then Pass else failf "errors differ: %s / %s" a b
     | Ok _, Error e -> failf "parallel raised where sequential answered: %s" e
     | Error e, Ok _ -> failf "sequential raised where parallel answered: %s" e)
+
+(* ------------------------------------------------------------------ *)
+(* (f) the textual MATCH front-end vs. everything else                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Three checks on one generated [MATCH] text:
+
+    - printing the parsed query and re-parsing it must give back the
+      same AST, and printing again the same text (pp is a retraction);
+    - the canonical result body must be byte-identical along four
+      in-process routes that share only the compiled pattern: the direct
+      homomorphism matcher with scan candidates, the same with the index
+      provider, and the algebra executor under both planner strategies
+      (or all four must reject with the same message);
+    - with a transport, the same body must come back from a served
+      round-trip, cold and cached ([Rcache] on).
+
+    Routes are compared as rendered text, not embeddings, because the
+    rendered body is the public contract of the textual front-end. *)
+let match_vs_algebra (transport : transport option) ~(doc_name : string)
+    ~(xml : string) ~(source : string) : verdict =
+  match Gql_match.Parse.parse_result source with
+  | Error msg -> failf "MATCH source does not parse: %s" msg
+  | Ok q -> (
+    let printed = Gql_match.Pp.query q in
+    match Gql_match.Parse.parse_result printed with
+    | Error msg -> failf "pretty-printed query does not re-parse: %s" msg
+    | Ok q2 when q2 <> q -> Fail "pp roundtrip changed the AST"
+    | Ok _ when Gql_match.Pp.query (Gql_match.Parse.parse printed) <> printed ->
+      Fail "pp is not idempotent"
+    | Ok _ -> (
+      match capture (fun () -> Gql_core.Gql.load_xml_string xml) with
+      | Error e -> failf "document rejected: %s" e
+      | Ok db -> (
+        let data = db.Gql_core.Gql.graph in
+        let route f =
+          capture (fun () ->
+              let c = Gql_match.Compile.compile q in
+              Gql_match.Eval.body data c (f c))
+        in
+        let routes =
+          [
+            ("homo-scan", route (fun c -> Gql_match.Eval.bindings data c));
+            ( "homo-indexed",
+              route (fun c ->
+                  Gql_match.Eval.bindings ~index:(Gql_core.Gql.index db) data c)
+            );
+            ( "algebra-greedy",
+              route (fun c ->
+                  Gql_match.Eval.bindings_algebra ~strategy:`Greedy
+                    ~index:(Gql_core.Gql.index db) data c) );
+            ( "algebra-fixed",
+              route (fun c ->
+                  Gql_match.Eval.bindings_algebra ~strategy:`Fixed
+                    ~index:(Gql_core.Gql.index db) data c) );
+            ( "algebra-noindex",
+              route (fun c -> Gql_match.Eval.bindings_algebra data c) );
+          ]
+        in
+        let disagreement =
+          match routes with
+          | [] -> None
+          | (ref_label, ref_res) :: rest ->
+            List.find_map
+              (fun (label, res) ->
+                match ref_res, res with
+                | Ok a, Ok b when a = b -> None
+                | Error a, Error b when a = b -> None
+                | _ ->
+                  let s = function Ok _ -> "ok" | Error e -> e in
+                  Some
+                    (Printf.sprintf "%s and %s disagree (%s / %s)" ref_label
+                       label (s ref_res) (s res)))
+              rest
+        in
+        match disagreement with
+        | Some msg -> Fail msg
+        | None -> (
+          match transport with
+          | None -> Pass
+          | Some t -> (
+            match t (Gql_server.Protocol.Load { doc = doc_name; xml }) with
+            | Gql_server.Protocol.Err msg -> failf "served LOAD rejected: %s" msg
+            | Gql_server.Protocol.Timeout _ -> Fail "LOAD timed out"
+            | Gql_server.Protocol.Ok_ _ -> (
+              (* the server evaluates MATCH through the algebra (greedy,
+                 indexed): compare against that same route's body *)
+              let direct =
+                List.assoc "algebra-greedy" routes
+              in
+              let run () =
+                t
+                  (Gql_server.Protocol.Run
+                     {
+                       doc = doc_name;
+                       query = `Source source;
+                       schema = None;
+                       deadline_ms = None;
+                     })
+              in
+              let check_one label (resp : Gql_server.Protocol.response) =
+                match direct, resp with
+                | Ok body, Gql_server.Protocol.Ok_ { body = served; _ } ->
+                  if body = served then Pass
+                  else
+                    failf "%s body differs (%d vs %d bytes)" label
+                      (String.length body) (String.length served)
+                | Error _, Gql_server.Protocol.Err _ -> Pass
+                | Ok _, Gql_server.Protocol.Err msg ->
+                  failf "%s served ERR: %s" label msg
+                | Error e, Gql_server.Protocol.Ok_ _ ->
+                  failf "%s direct raised where served answered: %s" label e
+                | _, Gql_server.Protocol.Timeout _ -> failf "%s timed out" label
+              in
+              match check_one "cold" (run ()) with
+              | Fail _ as f -> f
+              | Pass -> check_one "cached" (run ())))))))

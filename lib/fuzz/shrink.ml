@@ -11,7 +11,9 @@
       possible;
     - queries shrink by dropping one line of the program body at a
       time (the concrete syntaxes are line-oriented: one box, circle,
-      node or edge per line).
+      node, edge or clause per line); a [MATCH] source additionally
+      shrinks *within* clauses through {!Gql_match.Reduce.candidates} —
+      dropping a trailing hop, a WHERE conjunct or a RETURN column.
 
     Alternating doc/query rounds run until neither side improves. *)
 
@@ -134,7 +136,20 @@ let shrink_query ~(parses : string -> bool)
         else try_drop (i + 1)
       end
     in
-    try_drop 0
+    try_drop 0;
+    (* clause-internal reductions for MATCH sources (no-ops elsewhere:
+       candidates is empty when the source is not a MATCH query) *)
+    if not !improved then
+      List.iter
+        (fun candidate ->
+          if
+            (not !improved) && parses candidate
+            && still_fails ~xml ~source:candidate
+          then begin
+            current := candidate;
+            improved := true
+          end)
+        (Gql_match.Reduce.candidates !current)
   done;
   !current
 

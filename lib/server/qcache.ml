@@ -14,10 +14,11 @@
 type prepared =
   | Xmlgl of Gql_xmlgl.Ast.program
   | Wglog of Gql_wglog.Ast.program
+  | Match of Gql_match.Ast.query
 
 type entry = {
   hash : string;  (** hex MD5 of (schema, source) *)
-  lang : [ `Xmlgl | `Wglog ];
+  lang : [ `Xmlgl | `Wglog | `Match ];
   schema : string option;
   source : string;
   prepared : prepared;
@@ -83,7 +84,20 @@ let parse ~schema:tag source : (entry, string) result =
             prepared = Wglog p;
           }
       | exception Gql_core.Gql.Error msg -> Error msg)
-    | `Unknown -> Error "query source must start with 'xmlgl' or 'wglog'")
+    | `Match -> (
+      match Gql_core.Gql.parse_match source with
+      | q ->
+        Ok
+          {
+            hash = hash_of ~schema:tag source;
+            lang = `Match;
+            schema = tag;
+            source;
+            prepared = Match q;
+          }
+      | exception Gql_core.Gql.Error msg -> Error msg)
+    | `Unknown ->
+      Error "query source must start with 'xmlgl', 'wglog' or 'match'")
 
 (** Insert under the lock, returning the *canonical* entry for the hash.
     A hash that is already cached (a concurrent parse of the same

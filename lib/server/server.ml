@@ -149,6 +149,12 @@ let evaluate t (snap : Registry.snapshot) (entry : Qcache.entry) :
     let stats = Gql_wglog.Eval.run ~domains g p in
     ( Printf.sprintf "lang=wglog derived_edges=%d" stats.Gql_wglog.Eval.edges_added,
       wglog_stats_line stats )
+  | Qcache.Match q ->
+    let body, rows =
+      Gql_match.Eval.run ~index:snap.Registry.index ~domains
+        snap.Registry.db.Gql_core.Gql.graph q
+    in
+    (Printf.sprintf "lang=match rows=%d" rows, body)
 
 let explain (snap : Registry.snapshot) (entry : Qcache.entry) : string * string =
   match entry.Qcache.prepared with
@@ -160,6 +166,10 @@ let explain (snap : Registry.snapshot) (entry : Qcache.entry) : string * string 
         Gql_algebra.Exec.explain_xmlgl ~index:snap.Registry.index
           snap.Registry.db.Gql_core.Gql.graph r.Gql_xmlgl.Ast.query ))
   | Qcache.Wglog _ -> ("lang=wglog", "EXPLAIN supports XML-GL queries\n")
+  | Qcache.Match q ->
+    ( "lang=match",
+      Gql_match.Eval.explain ~index:snap.Registry.index
+        snap.Registry.db.Gql_core.Gql.graph q )
 
 let handle_request t (req : Protocol.request) ~(started : float) :
     Protocol.response =
@@ -191,7 +201,10 @@ let handle_request t (req : Protocol.request) ~(started : float) :
       ok
         ~info:
           (Printf.sprintf "name=%s lang=%s hash=%s" name
-             (match entry.Qcache.lang with `Xmlgl -> "xmlgl" | `Wglog -> "wglog")
+             (match entry.Qcache.lang with
+             | `Xmlgl -> "xmlgl"
+             | `Wglog -> "wglog"
+             | `Match -> "match")
              entry.Qcache.hash)
         "")
   | Protocol.Stats { doc } ->
@@ -258,7 +271,8 @@ let handle_payload t (payload : string) : string =
       | Gql_core.Gql.Error msg | Failure msg -> Protocol.Err msg
       | Protocol.Protocol_error msg -> Protocol.Err msg
       | Gql_wglog.Eval.Invalid_query msg
-      | Gql_xmlgl.Construct.Invalid_query msg ->
+      | Gql_xmlgl.Construct.Invalid_query msg
+      | Gql_match.Compile.Error msg ->
         Protocol.Err ("invalid query: " ^ msg)
       | Gql_xmlgl.Engine.Ill_formed errs ->
         Protocol.Err ("invalid query: " ^ String.concat "; " errs)

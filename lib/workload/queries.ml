@@ -332,6 +332,42 @@ let suite : entry list =
       xpath = None; workload = `Hyperdocs };
   ]
 
+(* --- textual MATCH variants --------------------------------------------- *)
+
+(* The same questions asked through the GPML-style textual front-end:
+   containment edges of an encoded document carry the empty name (so
+   [-[]->] steps one level down and [-[:.+]->] any number), attribute
+   slots and entity relations are named.  These ride the server suite so
+   E12 and the served byte-identity tests exercise the textual path. *)
+
+let m1_src =
+  {|MATCH (b:BOOK)-[]->(t:title)
+RETURN b, t.value
+|}
+
+let m2_src =
+  {|MATCH (b:bib)-[:.+]->(n:last-name)
+RETURN n.value
+|}
+
+let m3_src =
+  {|MATCH (p:PERSON)-[]->(n:lastname)
+NOT EXISTS { (p)-[]->(a:FULLADDR) }
+RETURN p, n.value
+|}
+
+let m4_src =
+  {|MATCH (v:vendor)-[]->(c:country)
+WHERE c.value <> "nowhere"
+RETURN v, c.value
+|}
+
+let m5_src =
+  {|MATCH (r:Restaurant)-[:offers]->(m:Menu)-[:price]->(p)
+WHERE p.value >= 20
+RETURN m, p.value
+|}
+
 (* --- the server workload ------------------------------------------------ *)
 
 (** One request of the serving workload: run [source] against the
@@ -360,6 +396,11 @@ let server_suite : server_query list =
     { sq_name = "Q5"; doc = "greengrocer"; schema = None; source = q5_src };
     { sq_name = "Q10"; doc = "restaurants"; schema = Some "restaurant";
       source = q10_src };
+    { sq_name = "M1"; doc = "bibliography"; schema = None; source = m1_src };
+    { sq_name = "M2"; doc = "bibliography"; schema = None; source = m2_src };
+    { sq_name = "M3"; doc = "people"; schema = None; source = m3_src };
+    { sq_name = "M4"; doc = "greengrocer"; schema = None; source = m4_src };
+    { sq_name = "M5"; doc = "restaurants"; schema = None; source = m5_src };
   ]
 
 (** A reproducible request stream: [n] draws from {!server_suite} under

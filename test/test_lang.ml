@@ -232,6 +232,37 @@ let test_wglog_schema_attached () =
   Alcotest.(check (list string)) "schema-checks clean" []
     (Gql_wglog.Ast.check_program p)
 
+(* --- language sniffing ---------------------------------------------------- *)
+
+(* [language_of_source] keys on the first word of the first significant
+   line only, so programs *mentioning* MATCH/RETURN in labels must not
+   be misrouted to the textual MATCH front-end. *)
+let test_sniff_match () =
+  let lang src = Gql_core.Gql.language_of_source src in
+  check "match upper" true (lang "MATCH (v:a)\nRETURN v\n" = `Match);
+  check "match lower" true (lang "match (v)\nreturn v\n" = `Match);
+  check "leading comment and blank" true
+    (lang "\n# query\nMATCH (v)\nRETURN v\n" = `Match);
+  check "matchx is not match" true (lang "matchx (v)\nRETURN v\n" = `Unknown);
+  check "match glued to paren is unknown" true
+    (lang "match(v)\nRETURN v\n" = `Unknown)
+
+let test_sniff_negative () =
+  let lang src = Gql_core.Gql.language_of_source src in
+  (* a WG-Log program whose node labels are literally MATCH / RETURN *)
+  check "wglog with match labels" true
+    (lang
+       "wglog\nrule\n  node a MATCH\n  node b RETURN\n  edge a match b\nend\n"
+    = `Wglog);
+  check "xmlgl with match label" true
+    (lang
+       "xmlgl\nrule\nquery\n  node $a elem MATCH\nconstruct\n  node c copy $a\n  root c\nend\n"
+    = `Xmlgl);
+  check "workload q1 still xmlgl" true
+    (lang Gql_workload.Queries.q1_src = `Xmlgl);
+  check "workload q10 still wglog" true
+    (lang Gql_workload.Queries.q10_src = `Wglog)
+
 (* Fuzz: random declaration-shaped lines must parse or raise Parse_error,
    never crash. *)
 let fuzz_line_gen =
@@ -296,5 +327,10 @@ let () =
           Alcotest.test_case "schema attach" `Quick test_wglog_schema_attached;
           QCheck_alcotest.to_alcotest prop_xmlgl_parser_total;
           QCheck_alcotest.to_alcotest prop_wglog_parser_total;
+        ] );
+      ( "sniff",
+        [
+          Alcotest.test_case "match" `Quick test_sniff_match;
+          Alcotest.test_case "negative" `Quick test_sniff_negative;
         ] );
     ]

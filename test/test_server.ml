@@ -70,6 +70,9 @@ let direct_body server (q : Gql_workload.Queries.server_query) : string =
     in
     let p = Gql_core.Gql.parse_wglog ?schema q.source in
     Server.wglog_stats_line (Gql_wglog.Eval.run (Registry.fork snap) p)
+  | `Match ->
+    let q = Gql_core.Gql.parse_match q.source in
+    fst (Gql_match.Eval.run ~index:snap.Registry.index graph q)
   | `Unknown -> failwith "unknown language"
 
 let run_payload (q : Gql_workload.Queries.server_query) =
