@@ -218,7 +218,9 @@ let explain_cmd =
         | `Xmlgl ->
           let db = require_db data in
           print_string (Gql_core.Gql.explain_xmlgl db (Gql_core.Gql.parse_xmlgl source))
-        | `Wglog -> failwith "explain supports XML-GL and MATCH queries"
+        | `Wglog ->
+          let db = require_db data in
+          print_string (Gql_core.Gql.explain_wglog db (Gql_core.Gql.parse_wglog source))
         | `Match ->
           let db = require_db data in
           print_string (Gql_core.Gql.explain_match db (Gql_core.Gql.parse_match source))

@@ -138,8 +138,8 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
       List.filter
         (fun b -> edge_ok ?nav cons data ~src:b.(src) ~dst:b.(dst))
         (eval input)
-    | Plan.Cross (a, b) ->
-      let lefts = eval a and rights = eval b in
+    | Plan.Cross { left; right; _ } ->
+      let lefts = eval left and rights = eval right in
       List.concat_map
         (fun l ->
           List.map
@@ -167,9 +167,21 @@ let run_xmlgl ?strategy ?index ?domains (data : Graph.t)
     (run ?provider:job.Planner.provider ?domains data
        compiled.Gql_xmlgl.Matching.pattern plan)
 
-(** The plan text for an XML-GL query — EXPLAIN. *)
-let explain_xmlgl ?strategy ?index (data : Graph.t) (q : Gql_xmlgl.Ast.query) :
-    string =
+(** The plan text for an XML-GL query — EXPLAIN.  Cost-based by default:
+    EXPLAIN shows the plan a cost-aware server would run, annotated with
+    the model's row/cost estimates. *)
+let explain_xmlgl ?(strategy = `Cost) ?index (data : Graph.t)
+    (q : Gql_xmlgl.Ast.query) : string =
   let compiled = Gql_xmlgl.Matching.compile ?index data q in
   let job = Planner.job_of_xmlgl ?index compiled in
-  Plan.to_string (Planner.build ?strategy data job)
+  Plan.to_string (Planner.build ~strategy data job)
+
+(** The plan text for a WG-Log rule's query part, via the same algebra
+    route (the fixpoint evaluator itself stays non-algebraic; this is
+    the EXPLAIN view of how one rule's pattern would be joined). *)
+let explain_wglog ?(strategy = `Cost) ?index (data : Graph.t)
+    (r : Gql_wglog.Ast.rule) : string =
+  let job = Planner.job_of_wglog ?index r in
+  if Array.length job.Planner.pattern.Gql_graph.Homo.p_nodes = 0 then
+    "(empty query part)\n"
+  else Plan.to_string (Planner.build ~strategy data job)

@@ -1,214 +1,661 @@
 (** The planner: pattern -> plan.
 
-    Two strategies, ablated by experiment E9:
+    Three strategies, ablated by experiments E9 and E15:
 
-    - [`Greedy] (the default): start each connected component at its most
-      selective node (fewest candidates, estimated by one pass over the
-      data graph) and always extend with the already-connected node that
-      has the smallest candidate estimate — the classical fail-first
-      heuristic;
+    - [`Cost]: per-operator cost formulas ({!Cost}) over posting
+      cardinalities and sampled edge fan-outs.  Each connected component
+      of the pattern is ordered by dynamic programming over its
+      connected subsets (left-deep, up to {!dp_max_nodes} nodes);
+      larger components fall back to cost-greedy with one-step
+      lookahead.  Components are stitched with [Cross] in increasing
+      row-estimate order.
+    - [`Greedy] (the default): start each connected component at its
+      most selective node and always extend with the already-connected
+      node that has the smallest candidate estimate — the classical
+      fail-first heuristic.  Connectivity is compared lexicographically
+      *before* the estimate, so a connected node can never lose to an
+      unconnected one no matter how many candidates it has.
     - [`Fixed]: bind pattern nodes in declaration order, connecting them
       to whatever is already bound.  This is what a naive reading of the
       visual graph gives and is the "optimiser off" baseline.
 
+    When several positive edges connect the next node to the bound
+    region, the cheapest one (Direct before Path) carries the [Expand]
+    and the others demote to [Edge_check]s.
+
     Residual filters (value joins, ordered-content checks, negations
     whose endpoints are never adjacent in the traversal, cross-node
-    predicates) are appended on top. *)
+    predicates) are appended on top.  Every built plan is annotated
+    with {!Plan.est} rows/cost estimates, whatever the strategy. *)
 
 open Gql_data
+module H = Gql_graph.Homo
+module Iset = Gql_graph.Iset
+
+type strategy = [ `Greedy | `Fixed | `Cost ]
 
 type residual = { r_name : string; r_pred : Graph.t -> int array -> bool }
 
 type job = {
-  pattern : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern;
+  pattern : (Graph.node_kind, Graph.edge) H.pattern;
   residuals : residual list;
-  provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option;
+  provider : (Graph.node_kind, Graph.edge) H.provider option;
       (** index-backed candidates; sharpens the planner's estimates and
           replaces the executor's scans *)
 }
 
-let cons_label (c : (Graph.node_kind, Graph.edge) Gql_graph.Homo.edge_constraint) =
+let cons_label (c : (Graph.node_kind, Graph.edge) H.edge_constraint) =
   match c with
-  | Gql_graph.Homo.Direct _ -> "direct"
-  | Gql_graph.Homo.Path _ -> "path"
-  | Gql_graph.Homo.Negated _ -> "negated"
+  | H.Direct _ -> "direct"
+  | H.Path _ -> "path"
+  | H.Negated _ -> "negated"
+
+let is_path (c : (Graph.node_kind, Graph.edge) H.edge_constraint) =
+  match c with H.Path _ -> true | H.Direct _ | H.Negated _ -> false
+
+(* Expanding through a Direct edge is cheaper than through a regular
+   path; parallel edges between the same endpoints use this rank to
+   decide which one carries the Expand. *)
+let cons_rank c = if is_path c then 1 else 0
 
 (** Candidate-count estimates.  With an index-backed provider, a node's
     count is the O(1) length of its posting set (an unfiltered sorted
-    superset — close enough for join ordering, and free).  Nodes the
-    provider cannot answer for are counted by scan, but each scan stops
-    as soon as its count passes the best (smallest) score seen so far
-    plus one: the planner only needs to know such a node is *not* the
-    most selective, so planning cost no longer scales with the largest
-    candidate list. *)
-let estimates ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option)
-    (data : Graph.t) (pat : (Graph.node_kind, Graph.edge) Gql_graph.Homo.pattern) :
-    int array =
-  let k = Array.length pat.Gql_graph.Homo.p_nodes in
+    superset — close enough for join ordering, and free) and is exact.
+    Nodes the provider cannot answer for are counted by scan, but each
+    scan stops as soon as its count passes the best (smallest) score
+    seen so far plus one: such a capped count is a *lower bound* that
+    only proves the node is not the most selective, so it is returned
+    with [exact = false] and must never be compared against another
+    capped count as if it were real ([refine] below completes the scan
+    on demand). *)
+let make_estimates ?(provider : (Graph.node_kind, Graph.edge) H.provider option)
+    (data : Graph.t) (pat : (Graph.node_kind, Graph.edge) H.pattern) :
+    int array * bool array * (int -> unit) =
+  let k = Array.length pat.H.p_nodes in
   let counts = Array.make k 0 in
+  let exact = Array.make k false in
   let need_scan = Array.make k true in
   (match provider with
   | None -> ()
   | Some prov ->
     for v = 0 to k - 1 do
-      match prov.Gql_graph.Homo.prov_candidates v with
+      match prov.H.prov_candidates v with
       | None -> ()
       | Some cands ->
         need_scan.(v) <- false;
-        counts.(v) <- Gql_graph.Iset.length cands
+        exact.(v) <- true;
+        counts.(v) <- Iset.length cands
     done);
+  let n_data = Graph.n_nodes data in
+  let scan_count ~cap v =
+    let c = ref 0 and n = ref 0 in
+    while !c < cap && !n < n_data do
+      if pat.H.p_nodes.(v) !n (Graph.kind data !n) then incr c;
+      incr n
+    done;
+    (!c, !n >= n_data)
+  in
   if Array.exists Fun.id need_scan then begin
     let best = ref max_int in
     Array.iteri (fun v c -> if not need_scan.(v) then best := min !best c) counts;
-    let n_data = Graph.n_nodes data in
     for v = 0 to k - 1 do
       if need_scan.(v) then begin
         let cap = if !best = max_int then max_int else !best + 1 in
-        let c = ref 0 and n = ref 0 in
-        while !c < cap && !n < n_data do
-          if pat.Gql_graph.Homo.p_nodes.(v) !n (Graph.kind data !n) then incr c;
-          incr n
-        done;
-        counts.(v) <- !c;
-        best := min !best !c
+        let c, complete = scan_count ~cap v in
+        counts.(v) <- c;
+        exact.(v) <- complete;
+        best := min !best c
       end
     done
   end;
-  counts
+  let refine v =
+    if not exact.(v) then begin
+      let c, _ = scan_count ~cap:max_int v in
+      counts.(v) <- c;
+      exact.(v) <- true
+    end
+  in
+  (counts, exact, refine)
 
-let build ?(strategy = `Greedy) (data : Graph.t) (job : job) : Plan.t =
+(** [(count, exact)] per pattern node — capped scan counts are lower
+    bounds flagged inexact. *)
+let estimates ?provider data pat : (int * bool) array =
+  let counts, exact, _ = make_estimates ?provider data pat in
+  Array.map2 (fun c e -> (c, e)) counts exact
+
+(* One planned bind step: the node to bind and, when it connects to the
+   already-bound region, the pos_arr index of the edge carrying the
+   Expand ([None] starts a component: Scan, crossed in after the first). *)
+type pick = { pk_var : int; pk_edge : int option }
+
+let build ?(strategy : strategy = `Greedy) ?(calib = Cost.default)
+    (data : Graph.t) (job : job) : Plan.t =
   let pat = job.pattern in
-  let k = Array.length pat.Gql_graph.Homo.p_nodes in
+  let k = Array.length pat.H.p_nodes in
   if k = 0 then invalid_arg "empty pattern";
-  let est =
-    match strategy with
-    | `Greedy -> estimates ?provider:job.provider data pat
-    | `Fixed -> Array.make k 0
+  let counts, exact, refine = make_estimates ?provider:job.provider data pat in
+  let cands_of v =
+    match job.provider with
+    | Some prov -> prov.H.prov_candidates v
+    | None -> None
   in
   (* The provider's per-edge navigation (p_edges order) rides along on
      Expand/Edge_check so the executor can enumerate and test through
      the index. *)
   let nav_of =
     match job.provider with
-    | Some prov -> prov.Gql_graph.Homo.prov_nav
+    | Some prov -> prov.H.prov_nav
     | None -> fun _ -> None
   in
   (* Positive adjacency with constraints, keyed by p_edges position. *)
-  let indexed_edges = List.mapi (fun i e -> (i, e)) pat.Gql_graph.Homo.p_edges in
+  let indexed_edges = List.mapi (fun i e -> (i, e)) pat.H.p_edges in
   let pos_edges =
-    List.filter
-      (fun (_, (_, c, _)) ->
-        match c with
-        | Gql_graph.Homo.Negated _ -> false
-        | Gql_graph.Homo.Direct _ | Gql_graph.Homo.Path _ -> true)
+    List.filter (fun (_, (_, c, _)) -> not (match c with H.Negated _ -> true | _ -> false))
       indexed_edges
   in
   let neg_edges =
-    List.filter
-      (fun (_, (_, c, _)) ->
-        match c with
-        | Gql_graph.Homo.Negated _ -> true
-        | Gql_graph.Homo.Direct _ | Gql_graph.Homo.Path _ -> false)
+    List.filter (fun (_, (_, c, _)) -> match c with H.Negated _ -> true | _ -> false)
       indexed_edges
   in
-  let bound = Array.make k false in
-  let used = Array.make (List.length pos_edges) false in
   let pos_arr = Array.of_list pos_edges in
-  (* Next node choice. *)
-  let pick_next () =
-    match strategy with
-    | `Fixed ->
-      let rec first i = if i >= k then -1 else if bound.(i) then first (i + 1) else i in
-      first 0
-    | `Greedy ->
-      let best = ref (-1) and best_score = ref max_int in
-      for v = 0 to k - 1 do
-        if not bound.(v) then begin
-          let connected =
-            Array.exists
-              (fun (_, (a, _, b)) -> (bound.(a) && b = v) || (bound.(b) && a = v))
-              pos_arr
-          in
-          let score = if connected then est.(v) else est.(v) + 1_000_000 in
-          if score < !best_score then begin
-            best_score := score;
-            best := v
-          end
-        end
-      done;
-      !best
+  let ne = Array.length pos_arr in
+  let n_data = Graph.n_nodes data in
+  let avg_degree =
+    float_of_int (Graph.n_edges data) /. float_of_int (max 1 n_data)
   in
-  (* Find an unused positive edge connecting the bound region to [v]. *)
-  let connecting_edge v =
-    let found = ref None in
+  (* --- cost-model inputs ------------------------------------------- *)
+  (* Destination-predicate selectivity of binding node [v]. *)
+  let sel v =
+    if n_data = 0 then 0.0
+    else Float.min 1.0 (float_of_int counts.(v) /. float_of_int n_data)
+  in
+  (* Mean fan-out of a nav in [dir], sampled over (up to 4 of) the
+     source node's candidates.  An exact nav's posting sets are the
+     symbol-partitioned adjacency, so the sample is the per-symbol
+     degree summary the cost model wants. *)
+  let sample_nav (nav : H.nav option) (dir : Plan.edge_dir) ~src_var =
+    match nav with
+    | Some n when n.H.nav_exact -> (
+      let enum =
+        match dir with
+        | Plan.Forward -> n.H.nav_out
+        | Plan.Backward -> n.H.nav_in
+      in
+      match enum, cands_of src_var with
+      | Some f, Some cs when Iset.length cs > 0 ->
+        let len = Iset.length cs in
+        let samples = min 4 len in
+        let tot = ref 0 in
+        for s = 0 to samples - 1 do
+          tot := !tot + Iset.length (f (Iset.get cs (s * len / samples)))
+        done;
+        Some (float_of_int !tot /. float_of_int samples)
+      | _ -> None)
+    | Some _ | None -> None
+  in
+  let fanout_fallback ~path =
+    if path then Cost.path_fanout calib ~n_nodes:n_data ~avg_degree
+    else Float.max 1.0 avg_degree
+  in
+  let fanout_nav nav dir ~src_var ~path =
+    match sample_nav nav dir ~src_var with
+    | Some f -> f
+    | None -> fanout_fallback ~path
+  in
+  let fan_memo : (int * Plan.edge_dir, float) Hashtbl.t = Hashtbl.create 16 in
+  (* Fan-out of pos edge [i] traversed in [dir] (Forward: src -> dst). *)
+  let fanout_of i dir =
+    match Hashtbl.find_opt fan_memo (i, dir) with
+    | Some f -> f
+    | None ->
+      let ei, (a, c, b) = pos_arr.(i) in
+      let src_var = match dir with Plan.Forward -> a | Plan.Backward -> b in
+      let f = fanout_nav (nav_of ei) dir ~src_var ~path:(is_path c) in
+      Hashtbl.replace fan_memo (i, dir) f;
+      f
+  in
+  let scan_est v =
+    Cost.scan calib ~indexed:(cands_of v <> None) ~n_nodes:n_data ~card:counts.(v)
+  in
+  (* Expand estimate with a totality cap on direct edges: R sources
+     cannot enumerate more than max(R, |edges|) neighbours, whatever the
+     sampled fan-out claims — the sample is degree-biased on skewed
+     graphs (evenly-spaced candidates can all be hubs), and without the
+     cap a forward expansion over a skewed symbol looks arbitrarily
+     worse than reality.  Regular paths may legitimately revisit, so
+     they keep the raw sample. *)
+  let expand_est ~path ~(input : Plan.est) ~fanout ~dst_sel =
+    let fanout =
+      if path then fanout
+      else
+        let cap =
+          Float.max 1.0
+            (float_of_int (Graph.n_edges data)
+            /. Float.max 1.0 input.Plan.est_rows)
+        in
+        Float.min fanout cap
+    in
+    Cost.expand calib ~path ~input ~fanout ~dst_sel
+  in
+  (* Self-loop pos edges on [v] become checks the moment [v] binds. *)
+  let self_checks v est0 =
+    Array.fold_left
+      (fun acc (_, (a, c, b)) ->
+        if a = v && b = v then Cost.edge_check calib ~path:(is_path c) ~input:acc
+        else acc)
+      est0 pos_arr
+  in
+  (* Cost of binding [v] next given the bound region [in_mask] and the
+     running estimate [cur]: pick the cheapest connecting edge for the
+     Expand, demote the other connecting edges (and self-loops) to
+     checks.  [None] when nothing connects. *)
+  let extend_est (cur : Plan.est) (in_mask : int -> bool) v :
+      (int * Plan.est) option =
+    let conn = ref [] in
+    for i = ne - 1 downto 0 do
+      let _, (a, c, b) = pos_arr.(i) in
+      if a = v && b = v then ()
+      else if in_mask a && b = v then conn := (i, c, Plan.Forward) :: !conn
+      else if in_mask b && a = v then conn := (i, c, Plan.Backward) :: !conn
+    done;
+    match !conn with
+    | [] -> None
+    | cands ->
+      let try_edge (i, c, dir) =
+        let e =
+          expand_est ~path:(is_path c) ~input:cur ~fanout:(fanout_of i dir)
+            ~dst_sel:(sel v)
+        in
+        let e =
+          List.fold_left
+            (fun acc (j, c', _) ->
+              if j = i then acc
+              else Cost.edge_check calib ~path:(is_path c') ~input:acc)
+            e cands
+        in
+        (i, self_checks v e)
+      in
+      let best =
+        List.fold_left
+          (fun acc cand ->
+            let _, e = try_edge cand in
+            match acc with
+            | Some (_, be) when be.Plan.est_cost <= e.Plan.est_cost -> acc
+            | _ -> Some (try_edge cand))
+          None cands
+      in
+      best
+  in
+  (* --- heuristic orders (Greedy / Fixed) ---------------------------- *)
+  (* Cheapest unused edge connecting the bound region to [v]: Direct
+     preferred over Path, ties by declaration order; the others stay for
+     pending_checks. *)
+  let choose_edge bound used v =
+    let best = ref None in
     Array.iteri
-      (fun i (ei, (a, c, b)) ->
-        if !found = None && not used.(i) then
-          if bound.(a) && b = v then begin
-            used.(i) <- true;
-            found := Some (a, c, b, Plan.Forward, nav_of ei)
-          end
-          else if bound.(b) && a = v then begin
-            used.(i) <- true;
-            found := Some (b, c, a, Plan.Backward, nav_of ei)
-          end)
+      (fun i (_, (a, c, b)) ->
+        if
+          (not used.(i))
+          && (not (a = v && b = v))
+          && ((bound.(a) && b = v) || (bound.(b) && a = v))
+        then
+          match !best with
+          | Some (_, r) when r <= cons_rank c -> ()
+          | _ -> best := Some (i, cons_rank c))
       pos_arr;
-    !found
+    match !best with
+    | None -> None
+    | Some (i, _) ->
+      used.(i) <- true;
+      Some i
   in
-  (* Remaining edges between two bound nodes become checks. *)
-  let pending_checks () =
-    let acc = ref [] in
+  (* After binding, edges whose endpoints are now both bound are
+     consumed (the assembler emits them as checks at the same point). *)
+  let consume_pending bound used =
+    Array.iteri
+      (fun i (_, (a, _, b)) ->
+        if (not used.(i)) && bound.(a) && bound.(b) then used.(i) <- true)
+      pos_arr
+  in
+  (* Greedy next choice: (connectivity, estimate) compared
+     lexicographically — a connected node always beats an unconnected
+     one, however large its candidate count (the old additive sentinel
+     overflowed exactly there).  Capped counts are refined before they
+     can decide a winner. *)
+  let pick_min cands =
+    match cands with
+    | [] -> None
+    | [ v ] -> Some v (* nothing to order against: skip refinement *)
+    | _ ->
+      let rec go () =
+        let best =
+          List.fold_left
+            (fun acc v ->
+              match acc with
+              | Some b when counts.(b) <= counts.(v) -> acc
+              | _ -> Some v)
+            None cands
+        in
+        match best with
+        | Some b when not exact.(b) ->
+          (* a capped count is only a lower bound; it cannot win a
+             comparison until the scan completes *)
+          refine b;
+          go ()
+        | other -> other
+      in
+      go ()
+  in
+  let greedy_pick bound =
+    let connected v =
+      Array.exists
+        (fun (_, (a, _, b)) -> (bound.(a) && b = v) || (bound.(b) && a = v))
+        pos_arr
+    in
+    let unbound conn =
+      List.filter
+        (fun v -> (not bound.(v)) && connected v = conn)
+        (List.init k Fun.id)
+    in
+    match pick_min (unbound true) with
+    | Some v -> Some v
+    | None -> pick_min (unbound false)
+  in
+  let heuristic_order next =
+    let bound = Array.make k false and used = Array.make ne false in
+    let picks = ref [] in
+    let rec loop () =
+      match next bound with
+      | None -> ()
+      | Some v ->
+        let e = choose_edge bound used v in
+        bound.(v) <- true;
+        consume_pending bound used;
+        picks := { pk_var = v; pk_edge = e } :: !picks;
+        loop ()
+    in
+    loop ();
+    List.rev !picks
+  in
+  let fixed_pick bound =
+    let rec first i =
+      if i >= k then None else if bound.(i) then first (i + 1) else Some i
+    in
+    first 0
+  in
+  (* --- cost-based order --------------------------------------------- *)
+  let dp_max_nodes = 10 in
+  let components () =
+    let comp = Array.make k (-1) in
+    let n_comp = ref 0 in
+    for v = 0 to k - 1 do
+      if comp.(v) < 0 then begin
+        let id = !n_comp in
+        incr n_comp;
+        let queue = Queue.create () in
+        Queue.add v queue;
+        comp.(v) <- id;
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          Array.iter
+            (fun (_, (a, _, b)) ->
+              let link x y =
+                if x = u && comp.(y) < 0 then begin
+                  comp.(y) <- id;
+                  Queue.add y queue
+                end
+              in
+              link a b;
+              link b a)
+            pos_arr
+        done
+      end
+    done;
+    List.init !n_comp (fun id ->
+        List.filter (fun v -> comp.(v) = id) (List.init k Fun.id))
+  in
+  (* Exact left-deep join order of one connected component: DP over its
+     connected subsets (<= 2^dp_max_nodes states). *)
+  let dp_order comp : pick list * Plan.est =
+    let m = List.length comp in
+    let vs = Array.of_list comp in
+    let bit = Hashtbl.create m in
+    Array.iteri (fun j v -> Hashtbl.replace bit v j) vs;
+    let size = 1 lsl m in
+    let best : Plan.est option array = Array.make size None in
+    let choice = Array.make size (-1, -1, None) in
+    for j = 0 to m - 1 do
+      let mask = 1 lsl j in
+      best.(mask) <- Some (self_checks vs.(j) (scan_est vs.(j)));
+      choice.(mask) <- (0, vs.(j), None)
+    done;
+    for mask = 1 to size - 1 do
+      match best.(mask) with
+      | None -> ()
+      | Some cur ->
+        let in_mask v =
+          match Hashtbl.find_opt bit v with
+          | Some j -> mask land (1 lsl j) <> 0
+          | None -> false
+        in
+        for j = 0 to m - 1 do
+          if mask land (1 lsl j) = 0 then begin
+            match extend_est cur in_mask vs.(j) with
+            | None -> ()
+            | Some (edge, e) ->
+              let mask' = mask lor (1 lsl j) in
+              let better =
+                match best.(mask') with
+                | None -> true
+                | Some old -> e.Plan.est_cost < old.Plan.est_cost
+              in
+              if better then begin
+                best.(mask') <- Some e;
+                choice.(mask') <- (mask, vs.(j), Some edge)
+              end
+            end
+        done
+    done;
+    let full = size - 1 in
+    let rec unwind mask acc =
+      let prev, v, edge = choice.(mask) in
+      let acc = { pk_var = v; pk_edge = edge } :: acc in
+      if prev = 0 then acc else unwind prev acc
+    in
+    (unwind full [], Option.get best.(full))
+  in
+  (* Above the DP bound: cost-greedy with one-step lookahead — charge
+     each candidate its own cost plus the cheapest immediate follow-up,
+     so a cheap step that forces an expensive successor loses to a
+     slightly dearer step with cheap continuations. *)
+  let lookahead_order comp : pick list * Plan.est =
+    let in_set = Array.make k false in
+    let member = Array.make k false in
+    List.iter (fun v -> member.(v) <- true) comp;
+    let start =
+      List.iter refine comp;
+      List.fold_left
+        (fun acc v ->
+          match acc with
+          | Some b when counts.(b) <= counts.(v) -> acc
+          | _ -> Some v)
+        None comp
+      |> Option.get
+    in
+    in_set.(start) <- true;
+    let cur = ref (self_checks start (scan_est start)) in
+    let picks = ref [ { pk_var = start; pk_edge = None } ] in
+    let remaining = ref (List.length comp - 1) in
+    while !remaining > 0 do
+      let bound_now v = in_set.(v) in
+      let cands =
+        List.filter_map
+          (fun v ->
+            if in_set.(v) then None
+            else
+              match extend_est !cur bound_now v with
+              | None -> None
+              | Some (edge, e) -> Some (v, edge, e))
+          comp
+      in
+      let scored =
+        List.map
+          (fun (v, edge, e) ->
+            let after w = in_set.(w) || w = v in
+            let look =
+              List.fold_left
+                (fun acc w ->
+                  if member.(w) && (not in_set.(w)) && w <> v then
+                    match extend_est e after w with
+                    | Some (_, e') ->
+                      let inc = e'.Plan.est_cost -. e.Plan.est_cost in
+                      Float.min acc inc
+                    | None -> acc
+                  else acc)
+                infinity comp
+            in
+            let look = if look = infinity then 0.0 else look in
+            (v, edge, e, e.Plan.est_cost +. look))
+          cands
+      in
+      let v, edge, e, _ =
+        List.fold_left
+          (fun acc ((_, _, _, s) as cand) ->
+            match acc with
+            | Some (_, _, _, bs) when bs <= s -> acc
+            | _ -> Some cand)
+          None scored
+        |> Option.get
+      in
+      in_set.(v) <- true;
+      cur := e;
+      decr remaining;
+      picks := { pk_var = v; pk_edge = Some edge } :: !picks
+    done;
+    (List.rev !picks, !cur)
+  in
+  let cost_order () =
+    (* The DP compares scan estimates across all nodes of a component,
+       so every count must be real — capped lower bounds would repeat
+       the greedy planner's old tie-breaking bug at the DP level.  The
+       plan cache amortises these scans across serve traffic. *)
+    for v = 0 to k - 1 do
+      refine v
+    done;
+    let comps =
+      List.map
+        (fun comp ->
+          if List.length comp <= dp_max_nodes then dp_order comp
+          else lookahead_order comp)
+        (components ())
+    in
+    (* Cross components in increasing row-estimate order: the small side
+       drives, keeping intermediate products minimal. *)
+    let comps =
+      List.stable_sort
+        (fun (_, a) (_, b) -> Float.compare a.Plan.est_rows b.Plan.est_rows)
+        comps
+    in
+    List.concat_map fst comps
+  in
+  let picks =
+    match strategy with
+    | `Fixed -> heuristic_order fixed_pick
+    | `Greedy -> heuristic_order greedy_pick
+    | `Cost -> cost_order ()
+  in
+  (* --- assembly ------------------------------------------------------ *)
+  let label_of v = Printf.sprintf "node%d" v in
+  let bound = Array.make k false and used = Array.make ne false in
+  let emit_checks plan =
+    let acc = ref plan in
     Array.iteri
       (fun i (ei, (a, c, b)) ->
         if (not used.(i)) && bound.(a) && bound.(b) then begin
           used.(i) <- true;
-          acc := (a, c, b, nav_of ei) :: !acc
+          acc :=
+            Plan.Edge_check
+              { input = !acc; src = a; dst = b; cons = c; nav = nav_of ei;
+                label = cons_label c; est = None }
         end)
       pos_arr;
-    List.rev !acc
+    !acc
   in
-  let label_of v = Printf.sprintf "node%d" v in
-  let rec grow plan =
-    if Array.for_all Fun.id bound then plan
-    else begin
-      let v = pick_next () in
-      let plan =
-        match connecting_edge v with
-        | Some (src, c, dst, dir, nav) ->
-          bound.(v) <- true;
-          Plan.Expand
-            { input = plan; src; dst; dir; cons = c; nav; label = cons_label c }
-        | None ->
-          bound.(v) <- true;
-          Plan.Cross (plan, Plan.Scan { var = v; label = label_of v })
-      in
-      let plan =
-        List.fold_left
-          (fun plan (a, c, b, nav) ->
-            Plan.Edge_check
-              { input = plan; src = a; dst = b; cons = c; nav; label = cons_label c })
-          plan (pending_checks ())
-      in
-      grow plan
-    end
+  let bind_step plan { pk_var = v; pk_edge } =
+    let plan =
+      match pk_edge with
+      | Some i ->
+        used.(i) <- true;
+        let ei, (a, c, b) = pos_arr.(i) in
+        let src, dst, dir =
+          if bound.(a) && b = v then (a, v, Plan.Forward)
+          else (b, v, Plan.Backward)
+        in
+        bound.(v) <- true;
+        Plan.Expand
+          { input = plan; src; dst; dir; cons = c; nav = nav_of ei;
+            label = cons_label c; est = None }
+      | None ->
+        bound.(v) <- true;
+        Plan.Cross
+          { left = plan;
+            right = Plan.Scan { var = v; label = label_of v; est = None };
+            est = None }
+    in
+    emit_checks plan
   in
-  let start = pick_next () in
-  bound.(start) <- true;
-  let plan = grow (Plan.Scan { var = start; label = label_of start }) in
+  let plan =
+    match picks with
+    | [] -> invalid_arg "empty pattern"
+    | { pk_var = v0; pk_edge = _ } :: rest ->
+      bound.(v0) <- true;
+      let start =
+        emit_checks (Plan.Scan { var = v0; label = label_of v0; est = None })
+      in
+      List.fold_left bind_step start rest
+  in
   (* Negated edges as filters. *)
   let plan =
     List.fold_left
       (fun plan (ei, (a, c, b)) ->
         Plan.Edge_check
           { input = plan; src = a; dst = b; cons = c; nav = nav_of ei;
-            label = "negated" })
+            label = "negated"; est = None })
       plan neg_edges
   in
   (* Residual filters. *)
-  List.fold_left
-    (fun plan r ->
-      Plan.Filter { input = plan; name = r.r_name; pred = r.r_pred })
-    plan job.residuals
+  let plan =
+    List.fold_left
+      (fun plan r ->
+        Plan.Filter { input = plan; name = r.r_name; pred = r.r_pred; est = None })
+      plan job.residuals
+  in
+  (* --- annotation ---------------------------------------------------- *)
+  (* Rows/cost estimates for EXPLAIN, computed with the same formulas
+     whatever strategy shaped the plan (so E15 can compare the model's
+     opinion of each).  Scan cards are refined first: a capped count is
+     good enough to order joins but would lie in the output. *)
+  let rec annotate (p : Plan.t) : Plan.est =
+    let e =
+      match p with
+      | Plan.Scan { var; _ } ->
+        refine var;
+        scan_est var
+      | Plan.Expand { input; src; dir; dst; cons; nav; _ } ->
+        let input = annotate input in
+        let fanout = fanout_nav nav dir ~src_var:src ~path:(is_path cons) in
+        expand_est ~path:(is_path cons) ~input ~fanout ~dst_sel:(sel dst)
+      | Plan.Edge_check { input; cons; _ } ->
+        Cost.edge_check calib ~path:(is_path cons) ~input:(annotate input)
+      | Plan.Cross { left; right; _ } ->
+        Cost.cross calib ~left:(annotate left) ~right:(annotate right)
+      | Plan.Filter { input; _ } -> Cost.filter calib ~input:(annotate input)
+    in
+    Plan.set_est p e;
+    e
+  in
+  ignore (annotate plan);
+  plan
 
 (** Job construction from a compiled XML-GL query: the pattern plus its
     post-filters packaged as residuals; [index] attaches the frozen
@@ -225,4 +672,47 @@ let job_of_xmlgl ?(index : Index.t option) (c : Gql_xmlgl.Matching.compiled) :
         };
       ];
     provider = Option.map (fun idx -> Gql_xmlgl.Matching.provider idx c) index;
+  }
+
+(** Job construction from a WG-Log rule's query part, for the algebra
+    EXPLAIN route: the compiled pattern (label tests specialised to
+    interned symbols when an index is given), the evaluator's provider,
+    and its negation checks packaged as residuals. *)
+let job_of_wglog ?(index : Index.t option) (r : Gql_wglog.Ast.rule) : job =
+  let cq = Gql_wglog.Eval.compile_query r in
+  let pattern =
+    match index with
+    | Some idx -> Gql_wglog.Eval.specialised_pattern idx cq
+    | None -> cq.Gql_wglog.Eval.pattern
+  in
+  let n_rule = Array.length r.Gql_wglog.Ast.nodes in
+  let residuals =
+    (if cq.Gql_wglog.Eval.neg_checks = [] then []
+     else
+       [
+         {
+           r_name = "wglog-negations";
+           r_pred =
+             (fun data emb ->
+               let full = Array.make n_rule (-1) in
+               Array.iteri
+                 (fun pos qid -> full.(qid) <- emb.(pos))
+                 cq.Gql_wglog.Eval.query_ids;
+               Gql_wglog.Eval.neg_checks_ok ?index data cq full);
+         };
+       ])
+    @
+    if cq.Gql_wglog.Eval.global_negs = [] then []
+    else
+      [
+        {
+          r_name = "wglog-global-negations";
+          r_pred = (fun data _ -> Gql_wglog.Eval.global_negs_ok ?index data cq);
+        };
+      ]
+  in
+  {
+    pattern;
+    residuals;
+    provider = Option.map (fun idx -> Gql_wglog.Eval.provider idx cq) index;
   }

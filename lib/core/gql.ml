@@ -152,6 +152,13 @@ let run_wglog_text ?schema ?strategy ?domains (db : db) (src : string) :
 let wglog_goal (db : db) (r : Gql_wglog.Ast.rule) =
   Gql_wglog.Eval.goal ~index:(index db) db.graph r
 
+(** EXPLAIN for the first rule's query part, via the algebra planner
+    (the fixpoint itself is not algebraic; this shows its join order). *)
+let explain_wglog ?strategy (db : db) (p : Gql_wglog.Ast.program) : string =
+  match p.Gql_wglog.Ast.rules with
+  | [] -> "(no rules)"
+  | r :: _ -> Gql_algebra.Exec.explain_wglog ?strategy ~index:(index db) db.graph r
+
 (* ------------------------------------------------------------------ *)
 (* MATCH (textual GPML-style front-end)                                *)
 (* ------------------------------------------------------------------ *)

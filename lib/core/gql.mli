@@ -72,8 +72,12 @@ val xmlgl_bindings :
 (** Bindings of the first rule's query part (inspection / testing). *)
 
 val explain_xmlgl :
-  ?strategy:[ `Fixed | `Greedy ] -> db -> Gql_xmlgl.Ast.program -> string
-(** EXPLAIN: the physical plan the algebra executes for the first rule. *)
+  ?strategy:Gql_algebra.Planner.strategy ->
+  db ->
+  Gql_xmlgl.Ast.program ->
+  string
+(** EXPLAIN: the physical plan the algebra executes for the first rule,
+    cost-annotated ([`Cost] by default). *)
 
 (** {1 WG-Log} *)
 
@@ -101,6 +105,15 @@ val wglog_goal : db -> Gql_wglog.Ast.rule -> int array list
 (** Evaluate a pure query rule; returns its embeddings without deriving
     anything. *)
 
+val explain_wglog :
+  ?strategy:Gql_algebra.Planner.strategy ->
+  db ->
+  Gql_wglog.Ast.program ->
+  string
+(** EXPLAIN for the first rule's query part via the algebra route,
+    cost-annotated ([`Cost] by default).  The fixpoint evaluator itself
+    stays non-algebraic; this shows the join order of one rule. *)
+
 (** {1 MATCH — the textual GPML-style front-end} *)
 
 val parse_match : string -> Gql_match.Ast.query
@@ -120,8 +133,9 @@ val match_bindings : db -> Gql_match.Ast.query -> int array list
 (** Raw embeddings via the direct matcher (inspection / testing). *)
 
 val explain_match :
-  ?strategy:[ `Fixed | `Greedy ] -> db -> Gql_match.Ast.query -> string
-(** EXPLAIN: the physical plan the algebra would execute. *)
+  ?strategy:Gql_algebra.Planner.strategy -> db -> Gql_match.Ast.query -> string
+(** EXPLAIN: the physical plan the algebra would execute,
+    cost-annotated ([`Cost] by default). *)
 
 (** {1 The navigational baseline} *)
 

@@ -235,6 +235,44 @@ let edges_named t name : (int * int) array =
 (** O(1) total degree, for the matcher's fail-first scorer. *)
 let degree t n = Gql_graph.Csr.degree t.csr n
 
+(* --- statistics ------------------------------------------------------- *)
+
+(** Snapshot statistics for the cost-based planner ({!Gql_algebra} via
+    the provider, and EXPLAIN's summary line): sizes, the CSR degree
+    summary, and per-edge-name edge counts. *)
+type stats = {
+  st_nodes : int;
+  st_edges : int;
+  st_avg_out_degree : float;  (** edges / nodes, from the CSR planes *)
+  st_max_out_degree : int;
+  st_name_counts : (string * int) list;
+      (** edge name -> total edge count, sorted by name *)
+}
+
+(** Total number of edges named [name] in the snapshot — a per-symbol
+    fan-out numerator (divide by a source cardinality for a mean). *)
+let name_edge_count t name : int =
+  match Symtab.find t.symtab name with
+  | None -> 0
+  | Some sym -> (
+    match Hashtbl.find_opt t.edges_by_name sym with
+    | None -> 0
+    | Some a -> Array.length a)
+
+let stats t : stats =
+  {
+    st_nodes = n_nodes t;
+    st_edges = n_edges t;
+    st_avg_out_degree = Gql_graph.Csr.avg_out_degree t.csr;
+    st_max_out_degree = Gql_graph.Csr.max_out_degree t.csr;
+    st_name_counts =
+      Hashtbl.fold
+        (fun sym pairs acc ->
+          (Symtab.name t.symtab sym, Array.length pairs) :: acc)
+        t.edges_by_name []
+      |> List.sort compare;
+  }
+
 (* --- Homo navigation builders ---------------------------------------- *)
 
 (* Navs resolve their name symbol once at construction, not per hop. *)

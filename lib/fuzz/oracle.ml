@@ -450,6 +450,10 @@ let match_vs_algebra (transport : transport option) ~(doc_name : string)
               route (fun c ->
                   Gql_match.Eval.bindings_algebra ~strategy:`Fixed
                     ~index:(Gql_core.Gql.index db) data c) );
+            ( "algebra-cost",
+              route (fun c ->
+                  Gql_match.Eval.bindings_algebra ~strategy:`Cost
+                    ~index:(Gql_core.Gql.index db) data c) );
             ( "algebra-noindex",
               route (fun c -> Gql_match.Eval.bindings_algebra data c) );
           ]

@@ -206,7 +206,9 @@ let compile (q : Ast.query) : t =
             let rp = compile_path re_src in
             add_residual
               {
-                Gql_algebra.Planner.r_name = "not-exists";
+                (* residual names render MATCH-natively in EXPLAIN *)
+                Gql_algebra.Planner.r_name =
+                  "NOT EXISTS { " ^ Pp.chain ch ^ " }";
                 r_pred =
                   (fun data emb ->
                     not
@@ -229,7 +231,8 @@ let compile (q : Ast.query) : t =
           let inner_pat, _ = finish ib in
           add_residual
             {
-              Gql_algebra.Planner.r_name = "not-exists";
+              Gql_algebra.Planner.r_name =
+                "NOT EXISTS { " ^ Pp.chain ch ^ " }";
               r_pred =
                 (fun data emb ->
                   not
@@ -259,7 +262,7 @@ let compile (q : Ast.query) : t =
             in
             add_residual
               {
-                Gql_algebra.Planner.r_name = "where";
+                Gql_algebra.Planner.r_name = "WHERE " ^ Pp.cond c;
                 r_pred =
                   (fun data emb ->
                     test

@@ -62,18 +62,45 @@ let rows (data : Graph.t) (c : Compile.t) (embs : int array list) :
 let body (data : Graph.t) (c : Compile.t) (embs : int array list) : string =
   String.concat "\n" (header c :: rows data c embs) ^ "\n"
 
-(** The served entry point: compile, run through the algebra (greedy
-    plan — the same route `gql serve` uses), render.  Returns the body
-    and the row count. *)
-let run ?(index : Index.t option) ?domains (data : Graph.t) (q : Ast.query) :
-    string * int =
-  let c = Compile.compile q in
-  let embs = bindings_algebra ?index ?domains data c in
-  (body data c embs, List.length embs)
+(** A planned MATCH query: compiled form + physical plan + provider,
+    ready to execute against the snapshot it was planned for.  This is
+    what the server's plan cache stores — planning (estimate scans, DP
+    enumeration) runs once per (query hash, snapshot version). *)
+type prepared = {
+  pr_compiled : Compile.t;
+  pr_plan : Gql_algebra.Plan.t;
+  pr_provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option;
+}
 
-(** The plan text for a MATCH query — EXPLAIN. *)
-let explain ?strategy ?(index : Index.t option) (data : Graph.t)
-    (q : Ast.query) : string =
+(** Compile and plan, cost-based by default. *)
+let prepare ?(strategy = `Cost) ?(index : Index.t option) (data : Graph.t)
+    (q : Ast.query) : prepared =
   let c = Compile.compile q in
   let job = Compile.job ?index c in
-  Gql_algebra.Plan.to_string (Gql_algebra.Planner.build ?strategy data job)
+  {
+    pr_compiled = c;
+    pr_plan = Gql_algebra.Planner.build ~strategy data job;
+    pr_provider = job.Gql_algebra.Planner.provider;
+  }
+
+(** Execute a prepared query; returns the canonical body and row count.
+    [data] must be the snapshot [prepare] planned against. *)
+let run_prepared ?domains (data : Graph.t) (p : prepared) : string * int =
+  let embs =
+    Gql_algebra.Exec.run ?provider:p.pr_provider ?domains data
+      p.pr_compiled.Compile.pattern p.pr_plan
+  in
+  (body data p.pr_compiled embs, List.length embs)
+
+(** The served entry point: compile, plan (cost-based — the same route
+    `gql serve` uses), run through the algebra, render.  Returns the
+    body and the row count. *)
+let run ?(index : Index.t option) ?domains (data : Graph.t) (q : Ast.query) :
+    string * int =
+  run_prepared ?domains data (prepare ?index data q)
+
+(** The plan text for a MATCH query — EXPLAIN, cost-annotated ([`Cost]
+    by default). *)
+let explain ?(strategy = `Cost) ?(index : Index.t option) (data : Graph.t)
+    (q : Ast.query) : string =
+  Gql_algebra.Plan.to_string (prepare ~strategy ?index data q).pr_plan

@@ -96,6 +96,8 @@ type t = {
   prepared_misses : int Atomic.t;
   result_hits : int Atomic.t;  (** result cache: evaluation skipped *)
   result_misses : int Atomic.t;
+  plan_hits : int Atomic.t;  (** plan cache: planning skipped *)
+  plan_misses : int Atomic.t;
   latency : histogram;  (** per-request service time *)
 }
 
@@ -111,6 +113,8 @@ let create () =
     prepared_misses = Atomic.make 0;
     result_hits = Atomic.make 0;
     result_misses = Atomic.make 0;
+    plan_hits = Atomic.make 0;
+    plan_misses = Atomic.make 0;
     latency = histogram ();
   }
 
@@ -131,6 +135,8 @@ let render (t : t) : string =
   ki "prepared_cache_misses" (Atomic.get t.prepared_misses);
   ki "result_cache_hits" (Atomic.get t.result_hits);
   ki "result_cache_misses" (Atomic.get t.result_misses);
+  ki "plan_cache_hits" (Atomic.get t.plan_hits);
+  ki "plan_cache_misses" (Atomic.get t.plan_misses);
   ki "latency_count" (Atomic.get t.latency.count);
   kv "latency_mean_us" (Printf.sprintf "%.1f" (mean_us t.latency));
   ki "latency_p50_us" (quantile t.latency 0.50);

@@ -42,6 +42,10 @@ type t = {
   registry : Registry.t;
   qcache : Qcache.t;
   rcache : Rcache.t option;
+  pcache : Gql_match.Eval.prepared Pcache.t;
+      (** planned MATCH queries, keyed (doc, snapshot version, query
+          hash) — planning (estimate scans, join enumeration) runs once
+          per snapshot even when the result cache misses or is off *)
   metrics : Metrics.t;
   pool : Pool.t;
   mutex : Mutex.t;  (** listener list *)
@@ -57,6 +61,7 @@ let create ?(config = default_config) () =
       (if config.result_cache > 0 then
          Some (Rcache.create ~capacity:config.result_cache ())
        else None);
+    pcache = Pcache.create ~capacity:config.query_cache ();
     metrics = Metrics.create ();
     pool = Pool.create ?size:config.workers ();
     mutex = Mutex.create ();
@@ -127,6 +132,31 @@ let with_result_cache t snap entry kind (eval : unit -> string * string) :
       Rcache.add rc key ~info body;
       (info, body))
 
+(** The plan-cache door for MATCH: return the prepared (compiled +
+    planned) form for [entry] against [snap], planning at most once per
+    (doc, version, hash), counting hits/misses. *)
+let plan_match t (snap : Registry.snapshot) (entry : Qcache.entry)
+    (q : Gql_match.Ast.query) : Gql_match.Eval.prepared =
+  let key =
+    {
+      Pcache.doc = snap.Registry.name;
+      version = snap.Registry.version;
+      qhash = entry.Qcache.hash;
+    }
+  in
+  match Pcache.find t.pcache key with
+  | Some prepared ->
+    Metrics.incr t.metrics.Metrics.plan_hits;
+    prepared
+  | None ->
+    Metrics.incr t.metrics.Metrics.plan_misses;
+    let prepared =
+      Gql_match.Eval.prepare ~index:snap.Registry.index
+        snap.Registry.db.Gql_core.Gql.graph q
+    in
+    Pcache.add t.pcache key prepared;
+    prepared
+
 let evaluate t (snap : Registry.snapshot) (entry : Qcache.entry) :
     string * string =
   let domains =
@@ -150,13 +180,15 @@ let evaluate t (snap : Registry.snapshot) (entry : Qcache.entry) :
     ( Printf.sprintf "lang=wglog derived_edges=%d" stats.Gql_wglog.Eval.edges_added,
       wglog_stats_line stats )
   | Qcache.Match q ->
+    let prepared = plan_match t snap entry q in
     let body, rows =
-      Gql_match.Eval.run ~index:snap.Registry.index ~domains
-        snap.Registry.db.Gql_core.Gql.graph q
+      Gql_match.Eval.run_prepared ~domains
+        snap.Registry.db.Gql_core.Gql.graph prepared
     in
     (Printf.sprintf "lang=match rows=%d" rows, body)
 
-let explain (snap : Registry.snapshot) (entry : Qcache.entry) : string * string =
+let explain t (snap : Registry.snapshot) (entry : Qcache.entry) :
+    string * string =
   match entry.Qcache.prepared with
   | Qcache.Xmlgl p -> (
     match p.Gql_xmlgl.Ast.rules with
@@ -165,11 +197,17 @@ let explain (snap : Registry.snapshot) (entry : Qcache.entry) : string * string 
       ( "lang=xmlgl",
         Gql_algebra.Exec.explain_xmlgl ~index:snap.Registry.index
           snap.Registry.db.Gql_core.Gql.graph r.Gql_xmlgl.Ast.query ))
-  | Qcache.Wglog _ -> ("lang=wglog", "EXPLAIN supports XML-GL queries\n")
+  | Qcache.Wglog p -> (
+    match p.Gql_wglog.Ast.rules with
+    | [] -> ("lang=wglog", "(no rules)\n")
+    | r :: _ ->
+      ( "lang=wglog",
+        Gql_algebra.Exec.explain_wglog ~index:snap.Registry.index
+          snap.Registry.db.Gql_core.Gql.graph r ))
   | Qcache.Match q ->
     ( "lang=match",
-      Gql_match.Eval.explain ~index:snap.Registry.index
-        snap.Registry.db.Gql_core.Gql.graph q )
+      Gql_algebra.Plan.to_string
+        (plan_match t snap entry q).Gql_match.Eval.pr_plan )
 
 let handle_request t (req : Protocol.request) ~(started : float) :
     Protocol.response =
@@ -186,6 +224,7 @@ let handle_request t (req : Protocol.request) ~(started : float) :
     | Ok snap ->
       Metrics.incr t.metrics.Metrics.loads;
       Option.iter (fun rc -> Rcache.purge_doc rc doc) t.rcache;
+      Pcache.purge_doc t.pcache doc;
       ok
         ~info:
           (Printf.sprintf "doc=%s version=%d nodes=%d edges=%d" snap.Registry.name
@@ -219,7 +258,7 @@ let handle_request t (req : Protocol.request) ~(started : float) :
         resolve_query t ~schema:None query (fun entry ->
             let info, body =
               with_result_cache t snap entry "explain" (fun () ->
-                  explain snap entry)
+                  explain t snap entry)
             in
             ok ~info body))
   | Protocol.Run { doc; query; schema; deadline_ms } ->

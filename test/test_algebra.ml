@@ -102,6 +102,180 @@ let prop_strategies_agree =
       agree Gql_workload.Queries.q3_src data
       && agree Gql_workload.Queries.q6_src data)
 
+(* --- cost model and planner ordering regressions (PR 8) --------------- *)
+
+module H = Gql_graph.Homo
+module Graph = Gql_data.Graph
+
+let contains s lit = Gql_regex.Chre.search (Gql_regex.Chre.compile lit) s
+let label_pred l _ k = k = Graph.Complex l
+
+(* A graph whose label cardinalities are the whole point: A x5, B x100,
+   C x7.  One A node carries an edge to a B and to a C so the patterns
+   below are satisfiable; shape is otherwise irrelevant. *)
+let counted_graph () =
+  let g = Graph.create () in
+  let add l n = List.init n (fun _ -> Graph.add_complex g l) in
+  (match (add "A" 5, add "B" 100, add "C" 7) with
+  | x :: _, y :: _, z :: _ ->
+    Graph.link g ~src:x ~dst:y (Graph.rel_edge "r");
+    Graph.link g ~src:x ~dst:z (Graph.rel_edge "r")
+  | _ -> assert false);
+  g
+
+let test_capped_estimate_order () =
+  let data = counted_graph () in
+  let pattern =
+    {
+      H.p_nodes = [| label_pred "A"; label_pred "B"; label_pred "C" |];
+      p_edges =
+        [ (0, H.Direct (fun _ -> true), 1); (0, H.Direct (fun _ -> true), 2) ];
+    }
+  in
+  let job =
+    { Gql_algebra.Planner.pattern; residuals = []; provider = None }
+  in
+  (* True counts are A=5 < C=7 << B=100: bind A, then C, then B.  The
+     pre-PR-8 planner capped *every* scan estimate at best+1 during the
+     counting pass, so B and C both reported 6 and B (the lower
+     variable id) was expanded first.  [Plan.vars] lists the binding
+     order outermost-first. *)
+  List.iter
+    (fun strategy ->
+      let plan = Gql_algebra.Planner.build ~strategy data job in
+      check_int "binding order A,C,B"
+        0
+        (compare (Gql_algebra.Plan.vars plan) [ 1; 2; 0 ]))
+    [ `Greedy; `Cost ]
+
+let test_parallel_edges_prefer_direct () =
+  let data = counted_graph () in
+  let rp =
+    Gql_graph.Regpath.compile
+      (fun sym (e : Graph.edge) ->
+        Gql_lang.Label_re.symbol_matches sym e.Graph.name)
+      (Gql_lang.Label_re.parse ".+")
+  in
+  (* Two parallel edges between the same endpoints: the regular path is
+     declared first, but the Direct edge must carry the Expand and the
+     path must be demoted to a post-hoc edge check. *)
+  let pattern =
+    {
+      H.p_nodes = [| label_pred "A"; label_pred "B" |];
+      p_edges = [ (0, H.Path rp, 1); (0, H.Direct (fun _ -> true), 1) ];
+    }
+  in
+  let job =
+    { Gql_algebra.Planner.pattern; residuals = []; provider = None }
+  in
+  List.iter
+    (fun strategy ->
+      let plan = Gql_algebra.Planner.build ~strategy data job in
+      let s = Gql_algebra.Plan.to_string plan in
+      check "expand rides the direct edge" true (contains s "via direct");
+      check "path edge demoted to a check" true (contains s "\\(path\\)");
+      check "no path expansion" false (contains s "via path"))
+    [ `Greedy; `Cost; `Fixed ]
+
+let test_sentinel_million_candidates () =
+  (* Regression for the old pick_next scoring [est + 1_000_000 if
+     unconnected]: a *connected* node backed by a posting set of more
+     than a million candidates scored worse than a 16-candidate
+     unconnected one, so the planner started a cartesian product on a
+     connected pattern.  The fixture must genuinely cross the sentinel,
+     hence the million items. *)
+  let data = Gql_workload.Gen.wide_graph ~seed:47 ~hubs:16 1_000_100 in
+  let idx = Gql_data.Index.build data in
+  let q =
+    Gql_match.Parse.parse
+      "MATCH (h:Hub)-[:rel]->(i:Item)<-[:rel]-(g:Hub)\nRETURN h, i, g\n"
+  in
+  let c = Gql_match.Compile.compile q in
+  let job = Gql_match.Compile.job ~index:idx c in
+  List.iter
+    (fun strategy ->
+      let plan = Gql_algebra.Planner.build ~strategy data job in
+      check "connected pattern has no cross" false
+        (Gql_algebra.Plan.has_cross plan))
+    [ `Greedy; `Cost ]
+
+(* --- golden cost-annotated EXPLAIN suite ------------------------------ *)
+
+let check_str = Alcotest.(check string)
+
+let explain_suite () : string =
+  let buf = Buffer.create 4096 in
+  let section name s =
+    Buffer.add_string buf ("== " ^ name ^ " ==\n");
+    Buffer.add_string buf s
+  in
+  let graph_of doc = fst (Gql_data.Codec.encode doc) in
+  let with_idx data = (data, Gql_data.Index.build data) in
+  let bib, bib_idx =
+    with_idx (graph_of (Gql_workload.Gen.bibliography ~seed:61 100))
+  in
+  let ppl, ppl_idx =
+    with_idx (graph_of (Gql_workload.Gen.people ~seed:62 400))
+  in
+  let grn, grn_idx =
+    with_idx (graph_of (Gql_workload.Gen.greengrocer ~seed:63 800))
+  in
+  let rst, rst_idx = with_idx (Gql_workload.Gen.restaurants ~seed:64 200) in
+  let m (data, idx) name src =
+    section name
+      (Gql_match.Eval.explain ~index:idx data (Gql_match.Parse.parse src))
+  in
+  m (bib, bib_idx) "M1 (bibliography)" Gql_workload.Queries.m1_src;
+  m (bib, bib_idx) "M2 (bibliography)" Gql_workload.Queries.m2_src;
+  m (ppl, ppl_idx) "M3 (people)" Gql_workload.Queries.m3_src;
+  m (grn, grn_idx) "M4 (greengrocer)" Gql_workload.Queries.m4_src;
+  m (rst, rst_idx) "M5 (restaurants)" Gql_workload.Queries.m5_src;
+  let x (data, idx) name src =
+    section name (Gql_algebra.Exec.explain_xmlgl ~index:idx data (query_of src))
+  in
+  x (bib, bib_idx) "Q2 (bibliography, XML-GL)" Gql_workload.Queries.q2_src;
+  x (ppl, ppl_idx) "Q3 (people, XML-GL)" Gql_workload.Queries.q3_src;
+  Buffer.contents buf
+
+(* Byte-compared against test/golden/explain_cost.txt: any change to
+   the cost formulas, calibration constants, estimate plumbing or plan
+   rendering shows up as a diff here.  To update, run the test and copy
+   the printed actual over the golden file. *)
+let test_explain_golden () =
+  let golden =
+    let ic = open_in "golden/explain_cost.txt" in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let actual = explain_suite () in
+  if actual <> golden then (
+    Printf.printf "--- actual golden/explain_cost.txt ---\n%s" actual;
+    check_str "cost-annotated EXPLAIN suite" golden actual)
+
+(* The enumerated (cost-based) planner must agree with greedy on result
+   bytes for arbitrary fuzz-generated documents and MATCH queries — the
+   same canonical-body comparison the differential fuzzer runs. *)
+let prop_cost_matches_greedy =
+  QCheck.Test.make ~name:"cost plans match greedy result bytes (fuzz)"
+    ~count:200
+    QCheck.(make Gen.(int_bound 0x3FFFFFFF))
+    (fun seed ->
+      let case = Gql_fuzz.Casegen.generate ~seed in
+      let db = Gql_core.Gql.load_xml_string case.Gql_fuzz.Casegen.xml in
+      let data = db.Gql_core.Gql.graph in
+      let index = Gql_core.Gql.index db in
+      let q = Gql_match.Parse.parse case.Gql_fuzz.Casegen.match_src in
+      match Gql_match.Compile.compile q with
+      | exception Gql_match.Compile.Error _ -> true
+      | c ->
+        let body strategy =
+          Gql_match.Eval.body data c
+            (Gql_match.Eval.bindings_algebra ~strategy ~index data c)
+        in
+        body `Cost = body `Greedy)
+
 let () =
   Alcotest.run "gql_algebra"
     [
@@ -120,5 +294,17 @@ let () =
           Alcotest.test_case "greengrocer queries" `Quick test_equivalence_greengrocer;
           Alcotest.test_case "cross product" `Quick test_cross_product;
           QCheck_alcotest.to_alcotest prop_strategies_agree;
+        ] );
+      ( "cost model",
+        [
+          Alcotest.test_case "capped estimates keep true order" `Quick
+            test_capped_estimate_order;
+          Alcotest.test_case "parallel edges prefer direct" `Quick
+            test_parallel_edges_prefer_direct;
+          Alcotest.test_case "million-candidate node stays connected" `Quick
+            test_sentinel_million_candidates;
+          Alcotest.test_case "golden cost-annotated explains" `Quick
+            test_explain_golden;
+          QCheck_alcotest.to_alcotest prop_cost_matches_greedy;
         ] );
     ]

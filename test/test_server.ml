@@ -282,8 +282,8 @@ let test_malformed_programs_yield_err () =
 
 (* --- socket byte identity ----------------------------------------------- *)
 
-let with_socket_server ?workers ?default_deadline_ms f =
-  let server = new_server ?workers ?default_deadline_ms () in
+let with_socket_server ?workers ?result_cache ?default_deadline_ms f =
+  let server = new_server ?workers ?result_cache ?default_deadline_ms () in
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "gql-test-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
@@ -372,6 +372,33 @@ let test_stats_metrics_errors () =
               (List.mem_assoc "par_jobs" kv
               && List.mem_assoc "par_seq_below_cutoff" kv
               && List.mem_assoc "par_cutoff" kv)
+          | Error m -> Alcotest.fail m))
+
+(* --- plan cache ----------------------------------------------------------- *)
+
+let test_plan_cache_counters () =
+  (* result cache off, so the second identical RUN actually re-evaluates
+     — but planning must be skipped: one plan-cache miss, then hits. *)
+  with_socket_server ~result_cache:0 (fun _server path ->
+      let c = Client.connect_unix path in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let src = Gql_workload.Queries.m1_src in
+          let run () =
+            match Client.run c ~doc:"bibliography" (`Source src) with
+            | Ok (_, body) -> body
+            | Error m -> Alcotest.fail m
+          in
+          let first = run () in
+          check "identical bodies from cached plan" first (run ());
+          match Client.metrics c with
+          | Ok (_, body) ->
+            let kv = Metrics.parse_body body in
+            check_bool "plan cache missed on first run" true
+              (int_of_string (List.assoc "plan_cache_misses" kv) >= 1);
+            check_bool "plan cache hit on second run" true
+              (int_of_string (List.assoc "plan_cache_hits" kv) >= 1)
           | Error m -> Alcotest.fail m))
 
 (* --- snapshot versioning over the wire ------------------------------------ *)
@@ -550,6 +577,8 @@ let () =
             test_inprocess_byte_identity;
           Alcotest.test_case "over a unix socket" `Quick test_socket_byte_identity;
           Alcotest.test_case "prepared run" `Quick test_prepare_and_run;
+          Alcotest.test_case "plan cache counters" `Quick
+            test_plan_cache_counters;
           Alcotest.test_case "reload invalidates" `Quick test_reload_invalidates;
         ] );
       ( "service",

@@ -1,0 +1,365 @@
+(* Fit the E15 cost-model calibration constants (lib/algebra/cost.ml)
+   from the committed bench trajectory.
+
+     dune exec tools/fit_cost.exe            # newest BENCH_PR*.json
+     dune exec tools/fit_cost.exe -- FILE..  # explicit trajectory files
+
+   Method.  Each bench record whose physical plan we know statically
+   becomes one equation "sum over operators of (constant x item count)
+   = measured nanoseconds".  A single linear model cannot satisfy all
+   of them: the 120k-node fixtures run cache-resident at ~8 ns/item
+   while the million-row fixtures stream at ~900 ns/item, a ~50x
+   per-item gap that is memory hierarchy, not operator mix (a
+   least-squares fit just collapses onto whichever scale the weighting
+   favours).  So the fit is tiered, with each constant taken from the
+   fixture class where the planner's mistakes would actually cost
+   something: expansion constants from the streaming fixtures, scan
+   constants from the isolated small-fixture measurements.  The
+   constants with no isolated measurement are derived from fitted ones
+   by documented rules (see [derive] below).
+
+   The attribution table (fixture shapes are fixed by
+   lib/workload/gen.ml, so item counts are known):
+
+     e11 point, scan arm      2 sweeps x 120k nodes        -> c_scan_full
+     e11 point, indexed arm   800 emits + 800 expansions   -> scan/expand mix
+     e11 join, indexed arm    800 emits + 800 expansions   -> scan/expand mix
+     e13v2 wide-1M   (d=1)    1024 emits + 1M expansions   -> c_expand_direct
+     e13v2 skewed-1M (d=1)    512 emits + 1M expansions    -> c_expand_direct
+     e13v2 deep-1M   (d=1)    2048 emits + ~1M path nodes  -> c_expand_path
+
+   Output is a [Cost.default]-shaped block to paste into
+   lib/algebra/cost.ml, plus per-equation residuals so drift between
+   trajectory files is visible. *)
+
+(* ---------------- minimal JSON reader ------------------------------- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_list of json list
+  | J_obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () <> c then
+      raise (Bad (Printf.sprintf "expected %c at %d" c !pos));
+    advance ()
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'u' ->
+          (* escaped code points never appear in bench output; keep the
+             raw escape rather than decoding *)
+          Buffer.add_string b "\\u"
+        | c -> Buffer.add_char b c);
+        advance ();
+        go ()
+      | '\000' -> raise (Bad "unterminated string")
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while num_char (peek ()) do
+      advance ()
+    done;
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); J_obj [])
+      else begin
+        let fields = ref [] in
+        let rec fields_loop () =
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          if peek () = ',' then (advance (); fields_loop ()) else expect '}'
+        in
+        fields_loop ();
+        J_obj (List.rev !fields)
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); J_list [])
+      else begin
+        let items = ref [] in
+        let rec items_loop () =
+          let v = value () in
+          items := v :: !items;
+          skip_ws ();
+          if peek () = ',' then (advance (); items_loop ()) else expect ']'
+        in
+        items_loop ();
+        J_list (List.rev !items)
+      end
+    | '"' -> J_str (string_lit ())
+    | 't' -> literal "true" (J_bool true)
+    | 'f' -> literal "false" (J_bool false)
+    | 'n' -> literal "null" J_null
+    | _ -> J_num (number ())
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing garbage");
+  v
+
+let field j k =
+  match j with J_obj fs -> List.assoc_opt k fs | _ -> None
+
+let str j k = match field j k with Some (J_str s) -> Some s | _ -> None
+let num j k = match field j k with Some (J_num f) -> Some f | _ -> None
+
+(* ---------------- datapoint extraction ------------------------------ *)
+
+(* One equation: measured ns = sum of (count x constant). Coefficient
+   order: [| scan_indexed; scan_full; expand_direct; expand_path |]. *)
+type eqn = { eq_label : string; coeffs : float array; ns : float }
+
+let median_ns j k =
+  match field j k with
+  | Some sub -> (
+    match num sub "median_ms" with Some ms -> Some (ms *. 1e6) | None -> None)
+  | None -> None
+
+let extract (records : json list) : eqn list * float option =
+  let eqns = ref [] and path_hops = ref None in
+  let add label coeffs ns =
+    eqns := { eq_label = label; coeffs; ns } :: !eqns
+  in
+  List.iter
+    (fun r ->
+      match str r "experiment" with
+      | Some "e11" -> (
+        match str r "query" with
+        | Some "point" ->
+          (* scan arm: the naive matcher sweeps every node once per
+             pattern variable (2 variables, 120k nodes).  indexed arm:
+             one posting emit + one key-edge expansion per L40 node
+             (per_label = 800). *)
+          (match median_ns r "scan" with
+          | Some ns -> add "e11 point/scan" [| 0.; 240_000.; 0.; 0. |] ns
+          | None -> ());
+          (match median_ns r "indexed" with
+          | Some ns -> add "e11 point/indexed" [| 800.; 0.; 800.; 0. |] ns
+          | None -> ())
+        | Some "label-join" -> (
+          (* 800 L7 emits, one rel edge expanded per node *)
+          match median_ns r "indexed" with
+          | Some ns -> add "e11 join/indexed" [| 800.; 0.; 800.; 0. |] ns
+          | None -> ())
+        | _ -> ())
+      | Some "e13v2" -> (
+        match (str r "workload", num r "domains", num r "median_ms") with
+        | Some w, Some 1.0, Some ms -> (
+          let ns = ms *. 1e6 in
+          match w with
+          | "wide-1M" -> add "e13v2 wide-1M" [| 1024.; 0.; 1e6; 0. |] ns
+          | "skewed-1M" -> add "e13v2 skewed-1M" [| 512.; 0.; 1e6; 0. |] ns
+          | "deep-1M" ->
+            add "e13v2 deep-1M" [| 2048.; 0.; 0.; 997_376. |] ns;
+            (* mean chain suffix length = rows / chains; the deep graph
+               has ~1 edge per node, so this is also the reachability
+               cap in units of average degree. *)
+            path_hops := Some (997_376. /. 2048.)
+          | _ -> ())
+        | _ -> ())
+      | _ -> ())
+    records;
+  (List.rev !eqns, !path_hops)
+
+(* ---------------- tiered fit ---------------------------------------- *)
+
+(* Solve the identifiable constants in precedence order; each tier
+   substitutes the ones already fixed.  Coefficient indices:
+   0 = scan_indexed, 1 = scan_full, 2 = expand_direct, 3 = expand_path.
+
+   Tier 1  c_scan_full     e11 point/scan (only unknown present).
+   Tier 2  c_scan_indexed  every mixed small equation upper-bounds it
+                           by its blended per-item time (the other
+                           operators contribute nonnegative time); take
+                           the tightest bound.
+   Tier 3  c_expand_direct mean over wide/skewed-1M after subtracting
+                           the (negligible) posting emits.
+   Tier 4  c_expand_path   deep-1M likewise. *)
+let fit (eqns : eqn list) : float array =
+  let x = Array.make 4 0.0 in
+  let pick f =
+    match List.filter_map f eqns with
+    | [] -> None
+    | vs -> Some (List.fold_left ( +. ) 0.0 vs /. float_of_int (List.length vs))
+  in
+  (match
+     pick (fun e ->
+         if e.coeffs.(1) > 0.0 then Some (e.ns /. e.coeffs.(1)) else None)
+   with
+  | Some v -> x.(1) <- v
+  | None -> failwith "no full-scan datum (e11 point/scan)");
+  (let bounds =
+     List.filter_map
+       (fun e ->
+         if e.coeffs.(0) > 0.0 && e.coeffs.(2) > 0.0 then
+           Some (e.ns /. (e.coeffs.(0) +. e.coeffs.(2)))
+         else None)
+       eqns
+   in
+   match bounds with
+   | [] -> failwith "no indexed-scan datum (e11 indexed arms)"
+   | b :: bs -> x.(0) <- List.fold_left Float.min b bs);
+  (match
+     pick (fun e ->
+         if e.coeffs.(2) >= 1e5 then
+           Some ((e.ns -. (e.coeffs.(0) *. x.(0))) /. e.coeffs.(2))
+         else None)
+   with
+  | Some v -> x.(2) <- v
+  | None -> failwith "no streaming expansion datum (e13v2 wide/skewed)");
+  (match
+     pick (fun e ->
+         if e.coeffs.(3) > 0.0 then
+           Some ((e.ns -. (e.coeffs.(0) *. x.(0))) /. e.coeffs.(3))
+         else None)
+   with
+  | Some v -> x.(3) <- v
+  | None -> failwith "no path expansion datum (e13v2 deep)");
+  x
+
+(* ---------------- derived constants --------------------------------- *)
+
+(* Rules for the constants with no isolated bench signal, expressed as
+   multiples of fitted ones:
+   - a direct edge check is a posting membership probe: two indexed-emit
+     units (binary search beats a full enumeration);
+   - a path edge check walks the path like an expansion of one source;
+   - a residual filter evaluates an OCaml closure over the whole
+     embedding: three indexed-emit units;
+   - a cross product writes one merged binding per output row: one
+     indexed-emit unit. *)
+let derive x =
+  let si = x.(0) in
+  (2.0 *. si, x.(3), 3.0 *. si, si)
+
+(* ---------------- driver -------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  let files =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> (
+      (* default: the newest committed trajectory that has the needed
+         experiments *)
+      let all =
+        Sys.readdir "."
+        |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 8
+               && String.sub f 0 8 = "BENCH_PR"
+               && Filename.check_suffix f ".json")
+        |> List.sort (fun a b -> compare b a)
+      in
+      match all with
+      | [] ->
+        prerr_endline "fit_cost: no BENCH_PR*.json in the current directory";
+        exit 1
+      | newest :: _ -> [ newest ])
+    | args -> args
+  in
+  let records =
+    List.concat_map
+      (fun f ->
+        match field (parse_json (read_file f)) "records" with
+        | Some (J_list rs) -> rs
+        | _ ->
+          prerr_endline ("fit_cost: no records array in " ^ f);
+          exit 1)
+      files
+  in
+  let eqns, path_hops = extract records in
+  if List.length eqns < 4 then begin
+    Printf.eprintf
+      "fit_cost: only %d usable records (need e11 + e13v2 at domains=1)\n"
+      (List.length eqns);
+    exit 1
+  end;
+  Printf.printf "fitting %d equations from %s\n\n" (List.length eqns)
+    (String.concat ", " files);
+  let x = fit eqns in
+  Printf.printf "%-20s  %12s  %12s  %8s\n" "equation" "measured_ns"
+    "predicted_ns" "rel_err";
+  List.iter
+    (fun e ->
+      let pred = ref 0.0 in
+      Array.iteri (fun j c -> pred := !pred +. (c *. x.(j))) e.coeffs;
+      Printf.printf "%-20s  %12.0f  %12.0f  %7.1f%%\n" e.eq_label e.ns !pred
+        (100.0 *. ((!pred /. e.ns) -. 1.0)))
+    eqns;
+  let check_direct, check_path, filter, cross = derive x in
+  let hops = match path_hops with Some h -> h | None -> 32.0 in
+  Printf.printf
+    "\nlet default =\n\
+    \  {\n\
+    \    c_scan_indexed = %.1f;\n\
+    \    c_scan_full = %.1f;\n\
+    \    c_expand_direct = %.1f;\n\
+    \    c_expand_path = %.1f;\n\
+    \    c_check_direct = %.1f;\n\
+    \    c_check_path = %.1f;\n\
+    \    c_filter = %.1f;\n\
+    \    c_cross = %.1f;\n\
+    \    path_hops = %.1f;\n\
+    \  }\n"
+    x.(0) x.(1) x.(2) x.(3) check_direct check_path filter cross hops
