@@ -1214,6 +1214,248 @@ let e15 () =
         "MATCH (g:Group)-[:member]->(m:Member)\nRETURN g, m\n" ) ]
 
 (* ------------------------------------------------------------------ *)
+(* E16 — flat product-automaton path engine                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Field lookup in the committed PR8 trajectory (flat numeric fields of
+   an e13v2-style record, not the nested [field: {median_ms: ..}] shape
+   pr4_median reads). *)
+let pr8_field ~(anchor : string) ~(field : string) : float option =
+  let path = "BENCH_PR8.json" in
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let contents = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match find_sub contents anchor 0 with
+    | None -> None
+    | Some p -> (
+      match find_sub contents ("\"" ^ field ^ "\": ") p with
+      | None -> None
+      | Some q -> Some (float_after contents q))
+  end
+
+let e16 () =
+  let module Rp = Gql_graph.Regpath in
+  header "E16  flat product-automaton path engine vs subset-construction BFS";
+  row
+    "(Micro: per-head next+ closure over a 200k-node chain fixture, the\n\
+    \ retained subset-construction BFS vs the flat product-automaton\n\
+    \ search on the same frozen snapshot, byte-identical result lists\n\
+    \ asserted before timing; batch = one scratch claim for all heads.\n\
+    \ Sweeps: the path-heavy million-node WG-Log goals at 1/2/4 domains\n\
+    \ with the engine's own counters, digest-checked across domain\n\
+    \ counts, minor-heap words compared against the committed PR8\n\
+    \ trajectory where the same fixture appears.)\n";
+  (* -- micro ----------------------------------------------------------- *)
+  begin
+    let data = Gql_workload.Gen.deep_graph ~seed:(seed 81) ~chains:256 200_000 in
+    let csr = Gql_graph.Csr.freeze data.Gql_data.Graph.g in
+    let heads = ref [] in
+    Gql_graph.Digraph.iter_nodes
+      (fun i kind ->
+        match kind with
+        | Gql_data.Graph.Complex "Head" -> heads := i :: !heads
+        | _ -> ())
+      data.Gql_data.Graph.g;
+    let heads = Array.of_list (List.rev !heads) in
+    let rp =
+      Rp.compile_classified ~plane_hint:Gql_data.Index.plane_rel
+        ~classify:(fun lbl -> if lbl = "*" then Rp.Lany else Rp.Lname lbl)
+        (fun lbl (de : Gql_data.Graph.edge) ->
+          de.Gql_data.Graph.kind <> Gql_data.Graph.Attribute
+          && (lbl = "*" || de.Gql_data.Graph.name = lbl))
+        Gql_regex.Syntax.(plus (sym "next"))
+    in
+    (* the deployed snapshot path: interned symbol plane + specialised
+       automaton, exactly what Index.nav_path runs *)
+    let interner = Hashtbl.create 8 in
+    let intern name =
+      match Hashtbl.find_opt interner name with
+      | Some i -> i
+      | None ->
+        let i = Hashtbl.length interner in
+        Hashtbl.add interner name i;
+        i
+    in
+    let plane =
+      Gql_graph.Csr.map_out_labels
+        (fun (de : Gql_data.Graph.edge) ->
+          if de.Gql_data.Graph.kind = Gql_data.Graph.Attribute then -1
+          else intern de.Gql_data.Graph.name)
+        csr
+    in
+    let spec = Rp.specialise rp ~intern in
+    let hash_list acc l =
+      List.fold_left (fun a x -> (a * 1_000_003) lxor x) acc l
+    in
+    let digest_over f =
+      Array.fold_left (fun acc h -> hash_list acc (f h)) 17 heads
+    in
+    let run_plane h =
+      Gql_graph.Iset.to_list (Rp.reachable_plane rp spec csr ~plane h)
+    in
+    (* identity first: all four engines must agree head-for-head *)
+    let batch0 = Rp.reachable_frozen_batch rp csr heads in
+    Array.iteri
+      (fun i h ->
+        let s = Rp.reachable_subset_frozen rp csr h in
+        let f = Rp.reachable_frozen rp csr h in
+        if s <> f || f <> Gql_graph.Iset.to_list batch0.(i) || f <> run_plane h
+        then failwith "E16 micro: engines disagree")
+      heads;
+    let sub_tm, sub_digest =
+      timed ~repeat:5 (fun () -> digest_over (Rp.reachable_subset_frozen rp csr))
+    in
+    let pred_tm, pred_digest =
+      timed ~repeat:5 (fun () -> digest_over (Rp.reachable_frozen rp csr))
+    in
+    let s0 = Rp.stats () in
+    let flat_tm, flat_digest =
+      timed ~repeat:5 (fun () -> digest_over run_plane)
+    in
+    let ds = Rp.stats_diff ~before:s0 (Rp.stats ()) in
+    let batch_tm, batch_digest =
+      timed ~repeat:5 (fun () ->
+          Array.fold_left
+            (fun acc s -> hash_list acc (Gql_graph.Iset.to_list s))
+            17
+            (Rp.reachable_frozen_batch rp csr heads))
+    in
+    if
+      sub_digest <> flat_digest || flat_digest <> batch_digest
+      || pred_digest <> flat_digest
+    then failwith "E16 micro: timed digests disagree";
+    let speedup_flat = sub_tm.min_ms /. flat_tm.min_ms in
+    let speedup_pred = sub_tm.min_ms /. pred_tm.min_ms in
+    let speedup_batch = sub_tm.min_ms /. batch_tm.min_ms in
+    record ~experiment:"e16"
+      [ ("workload", J_str "regpath-micro-next+");
+        ("heads", J_int (Array.length heads));
+        ("nodes", J_int (Gql_data.Graph.n_nodes data));
+        ("identical", J_bool true);
+        ("subset", J_obj (j_timing sub_tm));
+        ("flat", J_obj (j_timing flat_tm));
+        ("flat_pred", J_obj (j_timing pred_tm));
+        ("batch", J_obj (j_timing batch_tm));
+        ("speedup_flat", J_num speedup_flat);
+        ("speedup_pred", J_num speedup_pred);
+        ("speedup_batch", J_num speedup_batch);
+        ("path_searches", J_int ds.Rp.searches);
+        ("path_frontier_peak", J_int ds.Rp.frontier_peak);
+        ("path_scratch_reuses", J_int ds.Rp.scratch_reuses) ];
+    row "%-22s  %8s  %10s  %10s  %9s  %11s\n" "engine" "heads" "median_ms"
+      "min_ms" "speedup" "minor_Mw";
+    row "%-22s  %8d  %10.2f  %10.2f  %9s  %11.2f\n" "subset-BFS"
+      (Array.length heads) sub_tm.median_ms sub_tm.min_ms "1.00x"
+      (sub_tm.minor_words /. 1e6);
+    row "%-22s  %8d  %10.2f  %10.2f  %8.2fx  %11.2f\n" "flat-pred"
+      (Array.length heads) pred_tm.median_ms pred_tm.min_ms speedup_pred
+      (pred_tm.minor_words /. 1e6);
+    row "%-22s  %8d  %10.2f  %10.2f  %8.2fx  %11.2f\n" "flat-plane"
+      (Array.length heads) flat_tm.median_ms flat_tm.min_ms speedup_flat
+      (flat_tm.minor_words /. 1e6);
+    row "%-22s  %8d  %10.2f  %10.2f  %8.2fx  %11.2f\n" "flat-batch"
+      (Array.length heads) batch_tm.median_ms batch_tm.min_ms speedup_batch
+      (batch_tm.minor_words /. 1e6)
+  end;
+  Gc.compact ();
+  (* -- million-node path sweeps ---------------------------------------- *)
+  row "\n%-22s  %8s  %10s  %10s  %5s  %8s  %9s  %10s\n" "workload" "domains"
+    "median_ms" "min_ms" "ident" "speedup" "searches" "minor_Mw";
+  let goal_digest g rule domains =
+    let embs = Gql_wglog.Eval.goal ~domains g rule in
+    let h =
+      List.fold_left
+        (fun acc emb ->
+          Array.fold_left (fun a x -> (a * 1_000_003) lxor x) acc emb)
+        17 embs
+    in
+    Printf.sprintf "%d:%d" (List.length embs) h
+  in
+  let rule_of src =
+    List.hd
+      (Gql_lang.Wglog_text.parse_program ~schema:Gql_wglog.Schema.scale_schema
+         src)
+        .Gql_wglog.Ast.rules
+  in
+  let q_skew_path_src =
+    (* skewed-1M variant of q15 with the member edge starred: the
+       pathedge rides the same skew the scheduler has to absorb *)
+    "wglog\nrule\n  node g Group\n  node m Member\n  pathedge g member+ m\nend\n"
+  in
+  List.iter
+    (fun (name, pr8_workload, gen, src) ->
+      let g = gen () in
+      let rule = rule_of src in
+      row "%-22s  (%d nodes)\n" name (Gql_data.Graph.n_nodes g);
+      let baseline = ref None in
+      List.iter
+        (fun domains ->
+          Gc.compact ();
+          let s0 = Rp.stats () in
+          let tm, digest = timed (fun () -> goal_digest g rule domains) in
+          let ds = Rp.stats_diff ~before:s0 (Rp.stats ()) in
+          let seq_digest, seq_min =
+            match !baseline with
+            | None ->
+              baseline := Some (digest, tm.min_ms);
+              (digest, tm.min_ms)
+            | Some b -> b
+          in
+          if digest <> seq_digest then
+            failwith
+              (Printf.sprintf
+                 "E16 %s: %d-domain result differs from sequential" name
+                 domains);
+          let speedup = seq_min /. tm.min_ms in
+          let pr8 =
+            if domains = 1 then
+              match pr8_workload with
+              | None -> []
+              | Some w -> (
+                match
+                  pr8_field
+                    ~anchor:
+                      (Printf.sprintf
+                         "\"workload\": \"%s\", \"class\": \"large\", \
+                          \"domains\": 1, \"identical\"" w)
+                    ~field:"minor_words"
+                with
+                | Some mw ->
+                  [ ("pr8_minor_words", J_num mw);
+                    ("minor_words_ratio", J_num (tm.minor_words /. mw)) ]
+                | None -> [])
+            else []
+          in
+          record ~experiment:"e16"
+            ([ ("workload", J_str name); ("domains", J_int domains);
+               ("identical", J_bool true); ("speedup", J_num speedup);
+               ("path_compiles", J_int ds.Rp.compiles);
+               ("path_specialisations", J_int ds.Rp.specialisations);
+               ("path_searches", J_int ds.Rp.searches);
+               ("path_memo_hits", J_int ds.Rp.memo_hits);
+               ("path_memo_misses", J_int ds.Rp.memo_misses);
+               ("path_frontier_peak", J_int ds.Rp.frontier_peak);
+               ("path_scratch_reuses", J_int ds.Rp.scratch_reuses) ]
+            @ j_timing tm @ pr8);
+          row "%-22s  %8d  %10.2f  %10.2f  %5s  %7.2fx  %9d  %10.2f\n" name
+            domains tm.median_ms tm.min_ms "yes" speedup ds.Rp.searches
+            (tm.minor_words /. 1e6))
+        [ 1; 2; 4 ];
+      Gc.compact ())
+    [ ( "deep-1M-next+",
+        Some "deep-1M",
+        (fun () ->
+          Gql_workload.Gen.deep_graph ~seed:(seed 75) ~chains:2048 1_000_000),
+        Gql_workload.Queries.q14_src );
+      ( "skewed-1M-member+",
+        None,
+        (fun () ->
+          Gql_workload.Gen.skewed_graph ~seed:(seed 76) ~groups:512 1_000_000),
+        q_skew_path_src ) ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1266,7 +1508,8 @@ let micro () =
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e13v2", e13v2); ("e15", e15) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e13v2", e13v2); ("e15", e15);
+    ("e16", e16) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1299,6 +1542,6 @@ let () =
         match List.assoc_opt (String.lowercase_ascii name) all with
         | Some f -> f ()
         | None ->
-          Printf.eprintf "unknown experiment %s (e1..e15, e13v2, micro)\n" name)
+          Printf.eprintf "unknown experiment %s (e1..e16, e13v2, micro)\n" name)
       names);
-  if json then write_json "BENCH_PR8.json"
+  if json then write_json "BENCH_PR9.json"

@@ -116,6 +116,18 @@ let cross (c : calib) ~(left : Plan.est) ~(right : Plan.est) : Plan.est =
   }
 
 (** Reachability cap for a regular-path edge whose fan-out cannot be
-    sampled: how many nodes a path step is charged with reaching. *)
-let path_fanout (c : calib) ~n_nodes ~avg_degree : float =
-  Float.min (float_of_int (max 1 n_nodes)) (Float.max 1.0 avg_degree *. c.path_hops)
+    sampled: how many nodes a path step is charged with reaching.
+    [depth_bound] is the compiled automaton's longest accepted word when
+    the language is finite ([Gql_graph.Regpath.depth_bound]): a bounded
+    expression like [a b?] reaches at most [avg_degree ^ depth] nodes,
+    which is far below the starred-expression cap [avg_degree *
+    path_hops] that the old sampled estimate charged indiscriminately. *)
+let path_fanout (c : calib) ~n_nodes ~avg_degree ~(depth_bound : int option) :
+    float =
+  let n = float_of_int (max 1 n_nodes) in
+  match depth_bound with
+  | Some 0 -> 1.0 (* only the empty word: the source itself *)
+  | Some d ->
+    let d = float_of_int (min d 32) in
+    Float.min n (Float.max 1.0 (Float.max 1.0 avg_degree ** d))
+  | None -> Float.min n (Float.max 1.0 avg_degree *. c.path_hops)

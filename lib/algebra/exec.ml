@@ -52,12 +52,11 @@ let expand_candidates ?(nav : Gql_graph.Homo.nav option)
     | Gql_graph.Homo.Path rp, Plan.Forward ->
       Gql_graph.Regpath.reachable rp data.Graph.g from
     | Gql_graph.Homo.Path rp, Plan.Backward ->
-      (* Reverse regular path: scan sources whose forward reachability hits
-         [from].  Used rarely (deep edges are normally traversed forward);
-         cost is bounded by candidate filtering in the planner. *)
-      List.filter
-        (fun s -> Gql_graph.Regpath.connects rp data.Graph.g ~src:s ~dst:from)
-        (List.init (Graph.n_nodes data) Fun.id)
+      (* Reverse regular path: the engine's reverse automaton walks
+         predecessor edges from [from], ascending — the same set (and
+         order) the old whole-graph connects scan produced, without
+         touching unrelated nodes. *)
+      Gql_graph.Iset.to_list (Gql_graph.Regpath.reachable_rev_set rp data.Graph.g from)
     | Gql_graph.Homo.Negated _, _ -> invalid_arg "cannot expand a negated edge")
 
 let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option)
@@ -118,6 +117,37 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
         |> List.concat)
     | Plan.Expand { input; src; dst; dir; cons; nav; _ } ->
       let bindings = eval input in
+      (* Regular-path expansion with no exact nav would run one product
+         search per *binding*; resolve the distinct source frontier in
+         one batched sweep up front (single warm scratch, each source
+         searched once) and serve the per-binding expansion by lookup.
+         The table is built before the fan-out, so chunks only read. *)
+      let path_table =
+        match cons with
+        | Gql_graph.Homo.Path rp
+          when (match nav with
+               | Some n -> not n.Gql_graph.Homo.nav_exact
+               | None -> true) ->
+          let seen = Hashtbl.create 64 in
+          List.iter
+            (fun b ->
+              let f = b.(src) in
+              if f >= 0 && not (Hashtbl.mem seen f) then Hashtbl.replace seen f ())
+            bindings;
+          let srcs = Array.of_seq (Hashtbl.to_seq_keys seen) in
+          let sets =
+            match dir with
+            | Plan.Forward -> Gql_graph.Regpath.reachable_batch rp data.Graph.g srcs
+            | Plan.Backward ->
+              Gql_graph.Regpath.reachable_rev_batch rp data.Graph.g srcs
+          in
+          let tbl = Hashtbl.create (Array.length srcs) in
+          Array.iteri
+            (fun i s -> Hashtbl.replace tbl s (Gql_graph.Iset.to_list sets.(i)))
+            srcs;
+          Some tbl
+        | _ -> None
+      in
       Gql_graph.Par.concat_map_chunks
         ~cost:(List.length bindings * 8)
         ~domains
@@ -125,7 +155,9 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
           let from = b.(src) in
           if from < 0 then []
           else
-            expand_candidates ?nav cons data ~dir from
+            (match path_table with
+            | Some tbl -> Hashtbl.find tbl from
+            | None -> expand_candidates ?nav cons data ~dir from)
             |> List.filter_map (fun cand ->
                    if node_pred dst cand then begin
                      let b' = Array.copy b in

@@ -193,14 +193,17 @@ let build ?(strategy : strategy = `Greedy) ?(calib = Cost.default)
       | _ -> None)
     | Some _ | None -> None
   in
-  let fanout_fallback ~path =
-    if path then Cost.path_fanout calib ~n_nodes:n_data ~avg_degree
-    else Float.max 1.0 avg_degree
+  let fanout_fallback cons =
+    match cons with
+    | H.Path rp ->
+      Cost.path_fanout calib ~n_nodes:n_data ~avg_degree
+        ~depth_bound:(Gql_graph.Regpath.depth_bound rp)
+    | H.Direct _ | H.Negated _ -> Float.max 1.0 avg_degree
   in
-  let fanout_nav nav dir ~src_var ~path =
+  let fanout_nav nav dir ~src_var ~cons =
     match sample_nav nav dir ~src_var with
     | Some f -> f
-    | None -> fanout_fallback ~path
+    | None -> fanout_fallback cons
   in
   let fan_memo : (int * Plan.edge_dir, float) Hashtbl.t = Hashtbl.create 16 in
   (* Fan-out of pos edge [i] traversed in [dir] (Forward: src -> dst). *)
@@ -210,7 +213,7 @@ let build ?(strategy : strategy = `Greedy) ?(calib = Cost.default)
     | None ->
       let ei, (a, c, b) = pos_arr.(i) in
       let src_var = match dir with Plan.Forward -> a | Plan.Backward -> b in
-      let f = fanout_nav (nav_of ei) dir ~src_var ~path:(is_path c) in
+      let f = fanout_nav (nav_of ei) dir ~src_var ~cons:c in
       Hashtbl.replace fan_memo (i, dir) f;
       f
   in
@@ -643,7 +646,7 @@ let build ?(strategy : strategy = `Greedy) ?(calib = Cost.default)
         scan_est var
       | Plan.Expand { input; src; dir; dst; cons; nav; _ } ->
         let input = annotate input in
-        let fanout = fanout_nav nav dir ~src_var:src ~path:(is_path cons) in
+        let fanout = fanout_nav nav dir ~src_var:src ~cons in
         expand_est ~path:(is_path cons) ~input ~fanout ~dst_sel:(sel dst)
       | Plan.Edge_check { input; cons; _ } ->
         Cost.edge_check calib ~path:(is_path cons) ~input:(annotate input)

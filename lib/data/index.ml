@@ -64,6 +64,16 @@ type t = {
   ref_out : Iset.t array;
   ref_in : Iset.t array;
   edges_by_name : (int, (int * int) array) Hashtbl.t;  (** name sym *)
+  (* Regular-path engine state, all lazy and mutex-guarded (the serve
+     pool shares one snapshot across worker domains): per-lane edge-sym
+     planes aligned with the CSR out/in slices, per-automaton
+     specialisations, and the path-result memo.  All of it dies with
+     the snapshot, so the existing (n_nodes, n_edges) version scheme
+     invalidates it for free. *)
+  path_lock : Mutex.t;
+  planes : (int, int array * int array) Hashtbl.t;  (** hint -> out, in *)
+  path_specs : (int, Gql_graph.Regpath.spec) Hashtbl.t;  (** automaton uid *)
+  path_memo : (int * int * int, Iset.t) Hashtbl.t;  (** uid, dir, node *)
 }
 
 let build (data : Graph.t) : t =
@@ -159,6 +169,10 @@ let build (data : Graph.t) : t =
            Hashtbl.replace out key a)
          edges_name_l;
        out);
+    path_lock = Mutex.create ();
+    planes = Hashtbl.create 4;
+    path_specs = Hashtbl.create 8;
+    path_memo = Hashtbl.create 64;
   }
 
 (* --- lookups --------------------------------------------------------- *)
@@ -338,17 +352,136 @@ let nav_ref_named t name : Gql_graph.Homo.nav =
     nav_exact = false;
   }
 
-(** Regular-path navigation over the frozen view. *)
-let nav_path t (rp : Graph.edge Gql_graph.Regpath.t) : Gql_graph.Homo.nav =
+(* --- regular-path navigation ------------------------------------------ *)
+
+module Rp = Gql_graph.Regpath
+
+(** Edge-plane lane hints for {!Rp.compile_classified}: which edges a
+    snapshot lane admits before the symbol test even runs.  [plane_name]
+    admits every edge (MATCH path semantics), [plane_rel] excludes
+    [Attribute] edges (WG-Log arcs), [plane_child] admits only [Child]
+    edges (XML-GL deep containment).  Hint [0] means no plane: the
+    engine tests edges with the leaf predicates. *)
+let plane_name = 1
+
+let plane_rel = 2
+let plane_child = 3
+
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+(* Per-edge interned name, or [-1] where the lane rejects the edge —
+   index-aligned with the CSR out/in label slices, so a plane-mode
+   search tests each hop with one integer compare. *)
+let plane t hint : int array * int array =
+  match with_lock t.path_lock (fun () -> Hashtbl.find_opt t.planes hint) with
+  | Some p -> p
+  | None ->
+    let enc (e : Graph.edge) =
+      let admitted =
+        if hint = plane_rel then e.Graph.kind <> Graph.Attribute
+        else if hint = plane_child then e.Graph.kind = Graph.Child
+        else true
+      in
+      if not admitted then -1
+      else
+        (* every frozen edge name was interned during [build] *)
+        match Symtab.find t.symtab e.Graph.name with Some s -> s | None -> -1
+    in
+    let p =
+      ( Gql_graph.Csr.map_out_labels enc t.csr,
+        Gql_graph.Csr.map_in_labels enc t.csr )
+    in
+    with_lock t.path_lock (fun () ->
+        match Hashtbl.find_opt t.planes hint with
+        | Some p -> p
+        | None ->
+          Hashtbl.replace t.planes hint p;
+          p)
+
+(* Automaton leaves resolved against this snapshot's interner, cached
+   per automaton uid (names interned after the freeze resolve to the
+   never-matching sentinel — they cannot name any frozen edge). *)
+let path_spec t rp : Rp.spec =
+  let uid = Rp.uid rp in
+  match with_lock t.path_lock (fun () -> Hashtbl.find_opt t.path_specs uid) with
+  | Some s -> s
+  | None ->
+    let s = Rp.specialise rp ~intern:(fun name -> label_sym t name) in
+    with_lock t.path_lock (fun () ->
+        if not (Hashtbl.mem t.path_specs uid) then
+          Hashtbl.replace t.path_specs uid s);
+    s
+
+(* The memo can only trade memory for time — disabling it (debugging,
+   memory ceilings) must not change any result. *)
+let path_memo_enabled =
+  match Sys.getenv_opt "GQL_PATH_MEMO" with Some "0" -> false | _ -> true
+
+let path_run t rp ~(rev : bool) n : Iset.t =
+  let hint = Rp.plane_hint rp in
+  if hint = 0 then
+    if rev then Rp.reachable_frozen_rev_set rp t.csr n
+    else Rp.reachable_frozen_set rp t.csr n
+  else
+    let spec = path_spec t rp in
+    let out_p, in_p = plane t hint in
+    if rev then Rp.reachable_rev_plane rp spec t.csr ~plane:in_p n
+    else Rp.reachable_plane rp spec t.csr ~plane:out_p n
+
+(* Compute outside the lock: a racing duplicate computation is benign
+   (both sides produce the same set) and path searches are far too slow
+   to serialise across worker domains. *)
+let path_cached t rp ~(rev : bool) n : Iset.t =
+  if not path_memo_enabled then path_run t rp ~rev n
+  else begin
+    let key = (Rp.uid rp, (if rev then 1 else 0), n) in
+    match with_lock t.path_lock (fun () -> Hashtbl.find_opt t.path_memo key) with
+    | Some s ->
+      Rp.note_memo_hit ();
+      s
+    | None ->
+      Rp.note_memo_miss ();
+      let s = path_run t rp ~rev n in
+      with_lock t.path_lock (fun () ->
+          if not (Hashtbl.mem t.path_memo key) then
+            Hashtbl.replace t.path_memo key s);
+      s
+  end
+
+let path_connects t rp ~src ~dst : bool =
+  if path_memo_enabled then Iset.mem (path_cached t rp ~rev:false src) dst
+  else
+    (* no memo to reuse or fill: take the early-exit search *)
+    let hint = Rp.plane_hint rp in
+    if hint = 0 then Rp.connects_frozen rp t.csr ~src ~dst
+    else
+      let spec = path_spec t rp in
+      let out_p, _ = plane t hint in
+      Rp.connects_plane rp spec t.csr ~plane:out_p ~src ~dst
+
+(** Per-source reachable sets resolved in one scratch sweep, filling the
+    memo as a side effect.  Sources already memoised are served from the
+    memo; the rest run on the snapshot's plane. *)
+let path_reachable_batch t rp (srcs : int array) : Iset.t array =
+  Array.map (fun src -> path_cached t rp ~rev:false src) srcs
+
+(** Regular-path navigation over the frozen view: specialised automaton
+    on the snapshot's symbol plane, memoised per (automaton, direction,
+    node), with backward navigation answered by the reverse automaton
+    instead of a whole-graph scan. *)
+let nav_path t (rp : Graph.edge Rp.t) : Gql_graph.Homo.nav =
   {
-    nav_out =
-      Some
-        (fun n ->
-          (* reachable_frozen returns a sorted duplicate-free list *)
-          Iset.unsafe_of_sorted_array
-            (Array.of_list (Gql_graph.Regpath.reachable_frozen rp t.csr n)));
-    nav_in = None;
-    nav_links = Some (fun src dst -> Gql_graph.Regpath.connects_frozen rp t.csr ~src ~dst);
+    nav_out = Some (fun n -> path_cached t rp ~rev:false n);
+    nav_in = Some (fun n -> path_cached t rp ~rev:true n);
+    nav_links = Some (fun src dst -> path_connects t rp ~src ~dst);
     nav_exact = true;
   }
 

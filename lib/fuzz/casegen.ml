@@ -115,7 +115,11 @@ let gen_xmlgl rng : string =
 (* Child edges of an encoded document carry the empty name, so the only
    structural navigation expressible over them is the '.' wildcard;
    attribute slots are named ("id" on every generated element). *)
-let path_res = [| "."; ".."; ".+"; ".?" |]
+let path_res =
+  (* biased toward starred / deep forms: those are the shapes where the
+     flat product-automaton engine diverging from the reference would
+     actually show (frontier growth, ε-closure over nested closures) *)
+  [| "."; ".."; ".+"; ".?"; ".*"; ".+.+"; "..?"; ".?.+"; "(..)+" |]
 
 let gen_wglog rng : string =
   let open Gql_wglog.Ast in
@@ -160,7 +164,8 @@ let gen_wglog rng : string =
    complex-node labels are the element tags.  The generator builds an
    AST and prints it, so every case also exercises {!Gql_match.Pp} and
    the parser — the same route a served RUN takes. *)
-let match_path_specs = [| "."; ".."; ".+"; ".?"; "id|ref" |]
+let match_path_specs =
+  [| "."; ".."; ".+"; ".?"; "id|ref"; ".*"; "(id|ref)*"; ".+.?"; "id*ref?"; ".."; "(.id?)+" |]
 
 let gen_match rng : string =
   let open Gql_match.Ast in
@@ -203,7 +208,7 @@ let gen_match rng : string =
   in
   let clauses = ref [] in
   let add c = clauses := c :: !clauses in
-  add (Match (chain_from (fresh_node ~label_one_in:2) (1 + Prng.int rng 2)));
+  add (Match (chain_from (fresh_node ~label_one_in:2) (1 + Prng.int rng 3)));
   (* sometimes a second chain, anchored on a bound variable so the
      pattern stays connected (no cross-product blow-up) *)
   if Prng.int rng 3 = 0 then
@@ -260,7 +265,7 @@ let regex_labels = [| "a"; "b"; "c"; "." |]
 let gen_regex rng : string =
   let buf = Buffer.create 16 in
   let rec atom depth =
-    if depth < 2 && Prng.int rng 4 = 0 then begin
+    if depth < 3 && Prng.int rng 3 = 0 then begin
       Buffer.add_char buf '(';
       alt (depth + 1);
       Buffer.add_char buf ')'
@@ -268,14 +273,18 @@ let gen_regex rng : string =
     else Buffer.add_string buf (Prng.pick rng regex_labels)
   and postfix depth =
     atom depth;
-    match Prng.int rng 4 with
-    | 0 -> Buffer.add_char buf '*'
-    | 1 -> Buffer.add_char buf '+'
-    | 2 -> Buffer.add_char buf '?'
+    (* starred forms dominate: closure nesting is where the flat
+       engine's ε-elimination and frontier reuse earn their keep *)
+    match Prng.int rng 5 with
+    | 0 | 1 -> Buffer.add_char buf '*'
+    | 2 -> Buffer.add_char buf '+'
+    | 3 -> Buffer.add_char buf '?'
     | _ -> ()
   and seq depth =
     postfix depth;
-    if Prng.int rng 2 = 0 then postfix depth
+    while Prng.int rng 2 = 0 do
+      postfix depth
+    done
   and alt depth =
     seq depth;
     if Prng.int rng 3 = 0 then begin

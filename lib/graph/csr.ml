@@ -89,6 +89,14 @@ let fold_pred f acc t n =
   iter_pred (fun s l -> acc := f !acc s l) t n;
   !acc
 
+(** Per-edge derived planes, index-aligned with the out/in label slices
+    (so [plane.(i)] annotates the edge [iter_succ]/[iter_pred] visits at
+    position [i]).  [Gql_data.Index] uses these to resolve edge names to
+    interned symbols once per snapshot for the regular-path engine. *)
+let map_out_labels (f : 'e -> int) t : int array = Array.map f t.out_lab
+
+let map_in_labels (f : 'e -> int) t : int array = Array.map f t.in_lab
+
 (** Allocating compatibility shims, same shape as [Digraph.succ]/[pred]. *)
 let succ t n = List.rev (fold_succ (fun acc d l -> (d, l) :: acc) [] t n)
 

@@ -350,8 +350,22 @@ let instance ~(shared : ('n, 'e) shared) ~(copy_cands : bool)
                   out binding.(a)
                 | None ->
                   mark i;
-                  Iset.unsafe_of_sorted_array
-                    (Array.of_list (Regpath.reachable rp g binding.(a))))
+                  Regpath.reachable_set rp g binding.(a))
+                :: !sets
+            else if a = p && b <> p && bound.(b) then
+              (* Backward propagation: the reverse automaton (or the
+                 index's nav_in) gives the exact set of sources reaching
+                 binding.(b) — before the flat engine this cost a
+                 whole-graph scan per binding, so the case fell through
+                 to the global candidate set. *)
+              sets :=
+                (match nav_field i (fun nav -> nav.nav_in) with
+                | Some inn ->
+                  if (Option.get navs.(i)).nav_exact then mark i;
+                  inn binding.(b)
+                | None ->
+                  mark i;
+                  Regpath.reachable_rev_set rp g binding.(b))
                 :: !sets)
         p_edges;
       let base =

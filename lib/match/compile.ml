@@ -50,7 +50,11 @@ type t = {
 let compile_path (src : string) : Graph.edge Gql_graph.Regpath.t =
   match Gql_lang.Label_re.parse src with
   | re ->
-    Gql_graph.Regpath.compile
+    (* MATCH paths traverse any edge kind by name; classify the leaves
+       so the frozen-snapshot engine runs on the all-edges symbol plane *)
+    Gql_graph.Regpath.compile_classified ~plane_hint:Index.plane_name
+      ~classify:(fun sym ->
+        if sym = "*" then Gql_graph.Regpath.Lany else Gql_graph.Regpath.Lname sym)
       (fun sym (e : Graph.edge) ->
         Gql_lang.Label_re.symbol_matches sym e.Graph.name)
       re

@@ -217,7 +217,10 @@ let handle_request t (req : Protocol.request) ~(started : float) :
   | Protocol.Metrics ->
     (* server counters plus the Par scheduler's slice: jobs, chunks,
        steals, sequential-fallback reasons, spawn failures *)
-    ok (Metrics.render t.metrics ^ Gql_graph.Par.stats_lines ())
+    ok
+      (Metrics.render t.metrics
+      ^ Gql_graph.Par.stats_lines ()
+      ^ Gql_graph.Regpath.stats_lines ())
   | Protocol.Load { doc; xml } -> (
     match Registry.load_xml t.registry ~name:doc xml with
     | Error msg -> Protocol.Err msg

@@ -189,7 +189,14 @@ let compile_query (r : Ast.rule) : compiled_query =
                 has_regex := true;
                 names := None :: !names;
                 Gql_graph.Homo.Path
-                  (Gql_graph.Regpath.compile
+                  (* classified: on a frozen snapshot the index resolves
+                     each leaf against the relational (non-attribute)
+                     edge plane, so hops are integer compares *)
+                  (Gql_graph.Regpath.compile_classified
+                     ~plane_hint:Index.plane_rel
+                     ~classify:(fun lbl ->
+                       if lbl = "*" then Gql_graph.Regpath.Lany
+                       else Gql_graph.Regpath.Lname lbl)
                      (fun lbl (de : Graph.edge) ->
                        de.Graph.kind <> Graph.Attribute
                        && (lbl = "*" || de.Graph.name = lbl))

@@ -120,8 +120,10 @@ let node_predicate ?(index : Index.t option) data (qn : Ast.qnode) :
       | Graph.Complex _ -> false)
 
 let deep_path : Graph.edge Gql_graph.Regpath.t =
-  (* one or more containment steps *)
-  Gql_graph.Regpath.compile
+  (* one or more containment steps; classified [Lany] on the child-edge
+     plane, so frozen snapshots run it as pure int-compare hops *)
+  Gql_graph.Regpath.compile_classified ~plane_hint:Index.plane_child
+    ~classify:(fun () -> Gql_graph.Regpath.Lany)
     (fun () (e : Graph.edge) -> e.Graph.kind = Graph.Child)
     (Gql_regex.Syntax.plus (Gql_regex.Syntax.sym ()))
 

@@ -371,7 +371,16 @@ let test_stats_metrics_errors () =
             check_bool "par stats exported" true
               (List.mem_assoc "par_jobs" kv
               && List.mem_assoc "par_seq_below_cutoff" kv
-              && List.mem_assoc "par_cutoff" kv)
+              && List.mem_assoc "par_cutoff" kv);
+            (* ... and so do the path-engine counters *)
+            check_bool "path stats exported" true
+              (List.mem_assoc "path_compiles" kv
+              && List.mem_assoc "path_specialisations" kv
+              && List.mem_assoc "path_searches" kv
+              && List.mem_assoc "path_memo_hits" kv
+              && List.mem_assoc "path_memo_misses" kv
+              && List.mem_assoc "path_frontier_peak" kv
+              && List.mem_assoc "path_scratch_reuses" kv)
           | Error m -> Alcotest.fail m))
 
 (* --- plan cache ----------------------------------------------------------- *)
