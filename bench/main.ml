@@ -719,12 +719,12 @@ let graph_digest (data : Gql_data.Graph.t) =
     List.rev
       (Gql_graph.Digraph.fold_nodes
          (fun acc i kind -> (i, kind) :: acc)
-         [] data.Gql_data.Graph.g)
+         [] (Gql_data.Graph.digraph data))
   in
   let edges = ref [] in
   Gql_graph.Digraph.iter_edges
     (fun ~src ~dst (e : Gql_data.Graph.edge) -> edges := (src, dst, e) :: !edges)
-    data.Gql_data.Graph.g;
+    (Gql_data.Graph.digraph data);
   Digest.string (Marshal.to_string (nodes, List.rev !edges) [])
 
 let e13 () =
@@ -1250,14 +1250,14 @@ let e16 () =
   (* -- micro ----------------------------------------------------------- *)
   begin
     let data = Gql_workload.Gen.deep_graph ~seed:(seed 81) ~chains:256 200_000 in
-    let csr = Gql_graph.Csr.freeze data.Gql_data.Graph.g in
+    let csr = Gql_graph.Csr.freeze (Gql_data.Graph.digraph data) in
     let heads = ref [] in
     Gql_graph.Digraph.iter_nodes
       (fun i kind ->
         match kind with
         | Gql_data.Graph.Complex "Head" -> heads := i :: !heads
         | _ -> ())
-      data.Gql_data.Graph.g;
+      (Gql_data.Graph.digraph data);
     let heads = Array.of_list (List.rev !heads) in
     let rp =
       Rp.compile_classified ~plane_hint:Gql_data.Index.plane_rel
@@ -1504,12 +1504,122 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* E17 — the persistent snapshot store                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  header "E17  snapshot store: mapped load vs re-freezing the index";
+  row
+    "(save serialises the frozen planes once; load maps the file back,\n\
+    \ blitting the hot planes and wiring the cold lanes and the mutable\n\
+    \ graph lazily.  'refreeze' is Index.build on the in-memory graph —\n\
+    \ what a process start pays without the store; 'validate' is the\n\
+    \ zero-copy open that checks every checksum without materialising;\n\
+    \ 'thaw' is the lazy Digraph force the first scan-route query pays.\n\
+    \ ident compares a q13-style goal digest frozen-vs-loaded; speedup\n\
+    \ is refreeze/load on min_ms.)\n";
+  row "%-12s  %10s  %9s  %11s  %11s  %9s  %9s  %5s  %8s\n" "workload"
+    "refreeze_ms" "save_ms" "bytes" "validate_ms" "load_ms" "thaw_ms" "ident"
+    "speedup";
+  let goal_digest ~index g rule =
+    let embs = Gql_wglog.Eval.goal ~index ~domains:1 g rule in
+    let h =
+      List.fold_left
+        (fun acc emb ->
+          Array.fold_left (fun a x -> (a * 1_000_003) lxor x) acc emb)
+        17 embs
+    in
+    Printf.sprintf "%d:%d" (List.length embs) h
+  in
+  (* Both sides of the ratio allocate ~200 MB per run, so the shared
+     [timed] harness — which keeps every run's result alive — would
+     charge each run with collecting its predecessors' garbage and
+     compress the ratio arbitrarily.  Here every run starts from a
+     compacted heap with the previous result dropped: the columns time
+     the phase, not the GC echo of the phase before it. *)
+  let timed_gc ?(repeat = 3) f =
+    let keep = ref None in
+    let times = ref [] in
+    for i = 0 to repeat do
+      keep := None;
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      keep := Some r;
+      if i > 0 then times := dt :: !times (* run 0 is the warm-up *)
+    done;
+    let times = List.sort compare !times in
+    ( { median_ms = List.nth times (repeat / 2); min_ms = List.hd times;
+        minor_words = 0.0; major_words = 0.0 },
+      Option.get !keep )
+  in
+  List.iter
+    (fun (name, gen, src) ->
+      let g = gen () in
+      let rule =
+        List.hd
+          (Gql_lang.Wglog_text.parse_program
+             ~schema:Gql_wglog.Schema.scale_schema src)
+          .Gql_wglog.Ast.rules
+      in
+      Gc.compact ();
+      let tm_freeze, idx = timed_gc (fun () -> Gql_data.Index.build g) in
+      let path = Filename.temp_file "gql-bench" ".snap" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let tm_save, bytes = timed_gc (fun () -> Gql_data.Store.save ~path idx) in
+          let tm_validate, _ = timed_gc (fun () -> Gql_data.Store.validate path) in
+          let tm_load, (lg, lidx) =
+            timed_gc (fun () -> Gql_data.Store.load ~path)
+          in
+          let t0 = Unix.gettimeofday () in
+          ignore (Gql_data.Graph.digraph lg);
+          let thaw_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          let identical =
+            goal_digest ~index:idx g rule = goal_digest ~index:lidx lg rule
+          in
+          if not identical then
+            failwith
+              (Printf.sprintf "E17 %s: loaded snapshot answers differently"
+                 name);
+          let speedup = tm_freeze.min_ms /. tm_load.min_ms in
+          record ~experiment:"e17"
+            ([ ("workload", J_str name);
+               ("refreeze_ms", J_num tm_freeze.median_ms);
+               ("refreeze_min_ms", J_num tm_freeze.min_ms);
+               ("snapshot_save_ms", J_num tm_save.median_ms);
+               ("snapshot_bytes", J_int bytes);
+               ("validate_ms", J_num tm_validate.median_ms);
+               ("snapshot_load_ms", J_num tm_load.median_ms);
+               ("snapshot_load_min_ms", J_num tm_load.min_ms);
+               ("thaw_ms", J_num thaw_ms);
+               ("identical", J_bool identical);
+               ("speedup", J_num speedup);
+               ("median_ms", J_num tm_load.median_ms);
+               ("min_ms", J_num tm_load.min_ms) ]);
+          row "%-12s  %11.1f  %9.1f  %11d  %11.2f  %9.1f  %9.1f  %5s  %7.1fx\n"
+            name tm_freeze.median_ms tm_save.median_ms bytes
+            tm_validate.median_ms tm_load.median_ms thaw_ms
+            (if identical then "yes" else "NO") speedup))
+    [ ("wide-1M",
+       (fun () -> Gql_workload.Gen.wide_graph ~seed:(seed 74) ~hubs:1024 1_000_000),
+       Gql_workload.Queries.q13_src);
+      ("deep-1M",
+       (fun () -> Gql_workload.Gen.deep_graph ~seed:(seed 75) ~chains:2048 1_000_000),
+       Gql_workload.Queries.q14_src);
+      ("skewed-1M",
+       (fun () -> Gql_workload.Gen.skewed_graph ~seed:(seed 76) ~groups:512 1_000_000),
+       Gql_workload.Queries.q15_src) ]
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e13v2", e13v2); ("e15", e15);
-    ("e16", e16) ]
+    ("e16", e16); ("e17", e17) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1542,6 +1652,6 @@ let () =
         match List.assoc_opt (String.lowercase_ascii name) all with
         | Some f -> f ()
         | None ->
-          Printf.eprintf "unknown experiment %s (e1..e16, e13v2, micro)\n" name)
+          Printf.eprintf "unknown experiment %s (e1..e17, e13v2, micro)\n" name)
       names);
-  if json then write_json "BENCH_PR9.json"
+  if json then write_json "BENCH_PR10.json"

@@ -21,6 +21,19 @@ let read_file path =
 
 let language_of = Gql_core.Gql.language_of_source
 
+(* A snapshot file starts with the store magic; anything shorter or
+   different is treated as XML. *)
+let is_snapshot_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic 8 with
+        | magic -> magic = "GQLSNAP1"
+        | exception End_of_file -> false)
+
 (* --- common args -------------------------------------------------------- *)
 
 let data_arg =
@@ -60,6 +73,9 @@ let wrap f =
   | Gql_xml.Parser.Error (msg, pos) ->
     Printf.eprintf "error: XML %d:%d: %s\n" pos.Gql_xml.Parser.line
       pos.Gql_xml.Parser.col msg;
+    1
+  | Gql_data.Store.Invalid_snapshot _ as e ->
+    prerr_endline ("error: " ^ Gql_data.Store.describe e);
     1
 
 (* --- run ----------------------------------------------------------------- *)
@@ -314,8 +330,10 @@ let serve_cmd =
   in
   let preload_arg =
     let doc =
-      "XML file(s) to pre-load; each is registered under its base name \
-       (data/bibliography.xml -> 'bibliography').  Repeatable."
+      "XML or snapshot file(s) to pre-load; each is registered under its \
+       base name (data/bibliography.xml -> 'bibliography').  Snapshot \
+       files (saved with $(b,gql snapshot save)) are recognised by their \
+       magic and mapped directly — no re-parse, no re-freeze.  Repeatable."
     in
     Arg.(value & opt_all file [] & info [ "d"; "data" ] ~docv:"FILE" ~doc)
   in
@@ -345,11 +363,13 @@ let serve_cmd =
         List.iter
           (fun file ->
             let name = Filename.remove_extension (Filename.basename file) in
-            match
-              Gql_server.Registry.load_xml
-                (Gql_server.Server.registry server)
-                ~name (read_file file)
-            with
+            let registry = Gql_server.Server.registry server in
+            let loaded =
+              if is_snapshot_file file then
+                Gql_server.Registry.load_snapshot registry ~name file
+              else Gql_server.Registry.load_xml registry ~name (read_file file)
+            in
+            match loaded with
             | Ok snap ->
               Printf.printf "loaded %s (v%d, %d nodes, %d edges)\n%!" name
                 snap.Gql_server.Registry.version snap.Gql_server.Registry.nodes
@@ -386,6 +406,80 @@ let serve_cmd =
       const action $ socket_arg $ port_arg $ host_arg $ workers_arg
       $ deadline_arg $ rcache_arg $ run_domains_arg $ preload_arg)
 
+(* --- snapshot --------------------------------------------------------------- *)
+
+let snapshot_cmd =
+  let file_pos =
+    let doc = "Snapshot file." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let save_cmd =
+    let out_arg =
+      let doc = "Snapshot file to write." in
+      Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+    in
+    let action data out =
+      wrap (fun () ->
+          let db = require_db data in
+          let t0 = Unix.gettimeofday () in
+          let index = Gql_core.Gql.index db in
+          let freeze_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          let t1 = Unix.gettimeofday () in
+          let bytes = Gql_data.Store.save ~path:out index in
+          let save_ms = (Unix.gettimeofday () -. t1) *. 1000. in
+          Printf.printf "saved %s: %d bytes (freeze %.1f ms, save %.1f ms)\n"
+            out bytes freeze_ms save_ms)
+    in
+    let info =
+      Cmd.info "save"
+        ~doc:"Freeze the document's index and write it as a snapshot file."
+    in
+    Cmd.v info Term.(const action $ data_arg $ out_arg)
+  in
+  let load_cmd =
+    let action file =
+      wrap (fun () ->
+          let t0 = Unix.gettimeofday () in
+          let db = Gql_core.Gql.load_snapshot_file file in
+          let load_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+          let nodes, edges = Gql_core.Gql.stats db in
+          Printf.printf "loaded %s: %d nodes, %d edges (%.1f ms)\n" file nodes
+            edges load_ms)
+    in
+    let info =
+      Cmd.info "load"
+        ~doc:"Load a snapshot file (validates checksums) and print its size."
+    in
+    Cmd.v info Term.(const action $ file_pos)
+  in
+  let info_cmd =
+    let action file =
+      wrap (fun () ->
+          let i = Gql_data.Store.validate file in
+          Printf.printf "file     %s\nformat   %d\nbytes    %d\nnodes    %d\nedges    %d\nsymbols  %d\nsections %d\n"
+            file i.Gql_data.Store.info_format i.Gql_data.Store.info_bytes
+            i.Gql_data.Store.info_nodes i.Gql_data.Store.info_edges
+            i.Gql_data.Store.info_syms
+            (List.length i.Gql_data.Store.info_sections);
+          List.iter
+            (fun (name, off, elems) ->
+              Printf.printf "  %-12s off=%-10d elems=%d\n" name off elems)
+            i.Gql_data.Store.info_sections)
+    in
+    let info =
+      Cmd.info "info"
+        ~doc:"Validate a snapshot file and print its header and section table."
+    in
+    Cmd.v info Term.(const action $ file_pos)
+  in
+  let info =
+    Cmd.info "snapshot"
+      ~doc:
+        "Persistent snapshots of the frozen index: save once, map back in \
+         milliseconds."
+  in
+  Cmd.group info [ save_cmd; load_cmd; info_cmd ]
+
 (* --- fuzz ------------------------------------------------------------------ *)
 
 let fuzz_cmd =
@@ -403,8 +497,8 @@ let fuzz_cmd =
   let oracle_arg =
     let doc =
       "Oracle to run: scan-vs-index, digraph-vs-csr, engine-vs-algebra, \
-       direct-vs-served, seq-vs-par or match-vs-algebra.  Repeatable; \
-       default is all six."
+       direct-vs-served, seq-vs-par, match-vs-algebra or \
+       loaded-vs-frozen.  Repeatable; default is all seven."
     in
     Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
   in
@@ -524,4 +618,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; validate_cmd; render_cmd; explain_cmd; xpath_cmd; matrix_cmd;
-            stats_cmd; serve_cmd; client_cmd; fuzz_cmd ]))
+            stats_cmd; serve_cmd; client_cmd; fuzz_cmd; snapshot_cmd ]))

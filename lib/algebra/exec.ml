@@ -23,7 +23,7 @@ let edge_ok ?(nav : Gql_graph.Homo.nav option)
     match c with
     | Gql_graph.Homo.Direct p ->
       List.exists (fun (d, l) -> d = dst && p l) (Graph.out data src)
-    | Gql_graph.Homo.Path rp -> Gql_graph.Regpath.connects rp data.Graph.g ~src ~dst
+    | Gql_graph.Homo.Path rp -> Gql_graph.Regpath.connects rp (Graph.digraph data) ~src ~dst
     | Gql_graph.Homo.Negated p ->
       not (List.exists (fun (d, l) -> d = dst && p l) (Graph.out data src)))
 
@@ -50,13 +50,13 @@ let expand_candidates ?(nav : Gql_graph.Homo.nav option)
     | Gql_graph.Homo.Direct p, Plan.Backward ->
       List.filter_map (fun (s, l) -> if p l then Some s else None) (Graph.inn data from)
     | Gql_graph.Homo.Path rp, Plan.Forward ->
-      Gql_graph.Regpath.reachable rp data.Graph.g from
+      Gql_graph.Regpath.reachable rp (Graph.digraph data) from
     | Gql_graph.Homo.Path rp, Plan.Backward ->
       (* Reverse regular path: the engine's reverse automaton walks
          predecessor edges from [from], ascending — the same set (and
          order) the old whole-graph connects scan produced, without
          touching unrelated nodes. *)
-      Gql_graph.Iset.to_list (Gql_graph.Regpath.reachable_rev_set rp data.Graph.g from)
+      Gql_graph.Iset.to_list (Gql_graph.Regpath.reachable_rev_set rp (Graph.digraph data) from)
     | Gql_graph.Homo.Negated _, _ -> invalid_arg "cannot expand a negated edge")
 
 let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider option)
@@ -137,9 +137,9 @@ let run ?(provider : (Graph.node_kind, Graph.edge) Gql_graph.Homo.provider optio
           let srcs = Array.of_seq (Hashtbl.to_seq_keys seen) in
           let sets =
             match dir with
-            | Plan.Forward -> Gql_graph.Regpath.reachable_batch rp data.Graph.g srcs
+            | Plan.Forward -> Gql_graph.Regpath.reachable_batch rp (Graph.digraph data) srcs
             | Plan.Backward ->
-              Gql_graph.Regpath.reachable_rev_batch rp data.Graph.g srcs
+              Gql_graph.Regpath.reachable_rev_batch rp (Graph.digraph data) srcs
           in
           let tbl = Hashtbl.create (Array.length srcs) in
           Array.iteri

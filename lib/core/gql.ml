@@ -69,6 +69,22 @@ let of_graph (graph : Gql_data.Graph.t) : db =
     gindex = Gql_data.Index.cache ();
   }
 
+(** Wrap a loaded snapshot ({!Gql_data.Store.load}) without rebuilding
+    anything: the index cache starts filled, so the first query runs on
+    the loaded flat planes instead of triggering a re-freeze
+    ([Index.refresh] sees the same graph at the same version). *)
+let of_snapshot (graph : Gql_data.Graph.t) (index : Gql_data.Index.t) : db =
+  let db = of_graph graph in
+  db.gindex.Gql_data.Index.cached <- Some index;
+  db
+
+(** Load a snapshot file saved with [gql snapshot save] /
+    {!Gql_data.Store.save}.  Raises [Gql_data.Store.Invalid_snapshot] on
+    corrupt, truncated or wrong-version files. *)
+let load_snapshot_file path : db =
+  let graph, index = Gql_data.Store.load ~path in
+  of_snapshot graph index
+
 (** Which front-end a query source selects: the first word of the first
     non-empty, non-comment line, compared case-insensitively and as an
     exact word — [WGLOG] parses, [wglogx] does not.  [MATCH] selects

@@ -42,6 +42,16 @@ val of_graph : Gql_data.Graph.t -> db
 (** Wrap an entity database that never was XML (e.g. the WG-Log
     restaurant base).  XPath is unavailable on such databases. *)
 
+val of_snapshot : Gql_data.Graph.t -> Gql_data.Index.t -> db
+(** Wrap a loaded snapshot pair ({!Gql_data.Store.load}) with the index
+    cache pre-filled, so the first query runs on the loaded flat planes
+    instead of re-freezing.  XPath is unavailable. *)
+
+val load_snapshot_file : string -> db
+(** Load a snapshot file saved with [gql snapshot save].
+    @raise Gql_data.Store.Invalid_snapshot on corrupt, truncated or
+    wrong-version files. *)
+
 val index : db -> Gql_data.Index.t
 (** The frozen {!Gql_data.Index} over [db.graph], built on first use and
     cached until the graph grows. *)

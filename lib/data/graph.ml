@@ -30,25 +30,66 @@ type edge = {
           evaluation possible *)
 }
 
+type digraph = (node_kind, edge) Gql_graph.Digraph.t
+
+(** The mutable adjacency representation is held behind a one-shot lazy
+    cell so a snapshot loaded from disk ({!Gql_data.Store}) can serve
+    indexed queries off its CSR planes without ever paying the cons-list
+    rebuild; the {!Digraph} materialises only when an engine actually
+    walks it (scan routes, WG-Log forks, dot rendering).  Graphs built
+    in memory start with the cell already filled, so nothing changes for
+    them. *)
 type t = {
-  g : (node_kind, edge) Gql_graph.Digraph.t;
+  cell : digraph option Atomic.t;
+  thaw : unit -> digraph;  (** called at most once, under [thaw_lock] *)
+  hint_nodes : int;  (** counts while unforced — keeps [Index.refresh]'s *)
+  hint_edges : int;  (** version check from forcing the thaw *)
   mutable roots : Gql_graph.Digraph.node list;
 }
 
 type node = Gql_graph.Digraph.node
 
 let dummy_kind = Complex ""
+let thaw_lock = Mutex.create ()
+let no_thaw () : digraph = assert false (* cell starts filled *)
 
-let create () : t =
-  { g = Gql_graph.Digraph.create ~dummy:dummy_kind; roots = [] }
+(** The underlying mutable graph, thawing it on first use.  The slow
+    path runs under a global lock so concurrent server domains force a
+    loaded snapshot exactly once. *)
+let digraph t : digraph =
+  match Atomic.get t.cell with
+  | Some g -> g
+  | None ->
+    Mutex.protect thaw_lock (fun () ->
+        match Atomic.get t.cell with
+        | Some g -> g
+        | None ->
+          let g = t.thaw () in
+          Atomic.set t.cell (Some g);
+          g)
+
+let forced t = Option.is_some (Atomic.get t.cell)
+
+let of_digraph g roots : t =
+  { cell = Atomic.make (Some g); thaw = no_thaw; hint_nodes = 0;
+    hint_edges = 0; roots }
+
+let create () : t = of_digraph (Gql_graph.Digraph.create ~dummy:dummy_kind) []
+
+(** A graph whose adjacency thaws on demand.  [n_nodes]/[n_edges] must
+    equal the counts of the graph [thaw] will produce: they are answered
+    from the hints while the cell is empty. *)
+let of_thaw ~n_nodes ~n_edges ~roots thaw : t =
+  { cell = Atomic.make None; thaw; hint_nodes = n_nodes;
+    hint_edges = n_edges; roots }
 
 (** An independent copy of the data graph; forked snapshots let the
     deductive WG-Log evaluator saturate a private graph while the
     original stays frozen (the server's per-request semantics). *)
-let copy t : t = { g = Gql_graph.Digraph.copy t.g; roots = t.roots }
+let copy t : t = of_digraph (Gql_graph.Digraph.copy (digraph t)) t.roots
 
-let add_complex t label = Gql_graph.Digraph.add_node t.g (Complex label)
-let add_atom t v = Gql_graph.Digraph.add_node t.g (Atom v)
+let add_complex t label = Gql_graph.Digraph.add_node (digraph t) (Complex label)
+let add_atom t v = Gql_graph.Digraph.add_node (digraph t) (Atom v)
 let add_root t n = t.roots <- t.roots @ [ n ]
 
 let child_edge ?ord name = { name; kind = Child; ord; gen = 0 }
@@ -56,9 +97,9 @@ let attr_edge name = { name; kind = Attribute; ord = None; gen = 0 }
 let ref_edge name = { name; kind = Ref; ord = None; gen = 0 }
 let rel_edge ?(gen = 0) name = { name; kind = Rel; ord = None; gen }
 
-let link t ~src ~dst e = Gql_graph.Digraph.add_edge t.g ~src ~dst e
+let link t ~src ~dst e = Gql_graph.Digraph.add_edge (digraph t) ~src ~dst e
 
-let kind t n = Gql_graph.Digraph.payload t.g n
+let kind t n = Gql_graph.Digraph.payload (digraph t) n
 
 let label t n =
   match kind t n with
@@ -72,10 +113,22 @@ let atom_value t n =
 
 let is_atom t n = match kind t n with Atom _ -> true | Complex _ -> false
 
-let out t n = Gql_graph.Digraph.succ t.g n
-let inn t n = Gql_graph.Digraph.pred t.g n
-let n_nodes t = Gql_graph.Digraph.n_nodes t.g
-let n_edges t = Gql_graph.Digraph.n_edges t.g
+let out t n = Gql_graph.Digraph.succ (digraph t) n
+let inn t n = Gql_graph.Digraph.pred (digraph t) n
+
+(* Counts come from the hints while unforced: [Index.refresh] compares
+   them against the index version on every query, and that check must
+   not thaw a freshly loaded snapshot. *)
+let n_nodes t =
+  match Atomic.get t.cell with
+  | Some g -> Gql_graph.Digraph.n_nodes g
+  | None -> t.hint_nodes
+
+let n_edges t =
+  match Atomic.get t.cell with
+  | Some g -> Gql_graph.Digraph.n_edges g
+  | None -> t.hint_edges
+
 let roots t = t.roots
 
 (** Children in stored order: [Child] edges sorted by [ord]. *)
@@ -123,7 +176,7 @@ let node_value t n =
 
 (** All nodes with a given label. *)
 let nodes_labelled t lbl =
-  Gql_graph.Digraph.find_nodes t.g (function
+  Gql_graph.Digraph.find_nodes (digraph t) (function
     | Complex l -> l = lbl
     | Atom _ -> false)
 
@@ -133,7 +186,7 @@ let descendants t n =
   let order =
     Gql_graph.Algo.bfs
       ~follow:(fun e -> e.kind <> Attribute)
-      t.g [ n ]
+      (digraph t) [ n ]
   in
   List.filter (fun m -> m <> n) order
 
@@ -166,4 +219,4 @@ let to_dot t =
       match k with
       | Complex _ -> [ ("shape", "box") ]
       | Atom _ -> [ ("shape", "ellipse") ])
-    ~edge_label:pp_edge t.g
+    ~edge_label:pp_edge (digraph t)

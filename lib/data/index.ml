@@ -46,24 +46,114 @@ let vkey (v : Value.t) : vkey =
   | Some f -> Num f
   | None -> Str (Value.to_string v)
 
+(* Posting maps come in two representations behind one accessor set:
+   indexes built in memory keep the hashtables the build pass filled
+   (hot path unchanged); indexes loaded from a snapshot file keep the
+   file's flat planes — sorted key array, offset array, one shared pool
+   of postings — and slice sets out on demand, so loading costs three
+   blits per map instead of millions of hashtable inserts. *)
+type postings =
+  | P_tbl of (int, Iset.t) Hashtbl.t
+  | P_flat of { keys : int array;  (** sorted ascending *)
+                off : int array;  (** length [|keys| + 1] *)
+                pool : int array }
+
+(* Rank of [key] in the sorted key array, or -1 when absent. *)
+let p_rank (keys : int array) key =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if keys.(mid) < key then lo := mid + 1 else hi := mid
+  done;
+  if !lo < Array.length keys && keys.(!lo) = key then !lo else -1
+
+let p_find p key : Iset.t =
+  match p with
+  | P_tbl h -> Option.value (Hashtbl.find_opt h key) ~default:Iset.empty
+  | P_flat f ->
+    let i = p_rank f.keys key in
+    if i < 0 then Iset.empty
+    else
+      Iset.unsafe_of_sorted_array
+        (Array.sub f.pool f.off.(i) (f.off.(i + 1) - f.off.(i)))
+
+(* Membership without materialising the posting set — flat maps answer
+   straight off the pool, so link tests stay allocation-free. *)
+let p_mem p key v : bool =
+  match p with
+  | P_tbl h -> (
+    match Hashtbl.find_opt h key with
+    | None -> false
+    | Some s -> Iset.mem s v)
+  | P_flat f ->
+    let i = p_rank f.keys key in
+    i >= 0 && Iset.mem_range f.pool ~lo:f.off.(i) ~hi:f.off.(i + 1) v
+
+let p_fold (f : int -> Iset.t -> 'a -> 'a) p acc : 'a =
+  match p with
+  | P_tbl h -> Hashtbl.fold f h acc
+  | P_flat fl ->
+    let acc = ref acc in
+    for i = 0 to Array.length fl.keys - 1 do
+      acc :=
+        f fl.keys.(i)
+          (Iset.unsafe_of_sorted_array
+             (Array.sub fl.pool fl.off.(i) (fl.off.(i + 1) - fl.off.(i))))
+          !acc
+    done;
+    !acc
+
+(* Dense per-node set planes (children/parents/refs), same two shapes:
+   an array of sets when built, offsets + pool when loaded. *)
+type dense =
+  | D_arr of Iset.t array
+  | D_flat of { off : int array; pool : int array }
+
+let d_get d n : Iset.t =
+  match d with
+  | D_arr a -> a.(n)
+  | D_flat f ->
+    Iset.unsafe_of_sorted_array
+      (Array.sub f.pool f.off.(n) (f.off.(n + 1) - f.off.(n)))
+
+let d_mem d n v : bool =
+  match d with
+  | D_arr a -> Iset.mem a.(n) v
+  | D_flat f -> Iset.mem_range f.pool ~lo:f.off.(n) ~hi:f.off.(n + 1) v
+
+(* Cold derived tables a loaded snapshot materialises on first demand
+   (under [path_lock]); built indexes start in the ready state. *)
+type vtbl =
+  | V_ready of (vkey, Iset.t) Hashtbl.t
+  | V_lazy of (unit -> (vkey, Iset.t) Hashtbl.t)
+
+type etbl =
+  | E_ready of (int, (int * int) array) Hashtbl.t
+  | E_lazy of {
+      counts : (int * int) array;
+          (** (name sym, edge count) sorted by sym — answers the
+              planner's cardinality probes without materialising *)
+      mk : unit -> (int, (int * int) array) Hashtbl.t;
+    }
+
 type t = {
   data : Graph.t;
   csr : (Graph.node_kind, Graph.edge) Gql_graph.Csr.t;
   version : int * int;  (** (n_nodes, n_edges) at build time *)
   symtab : Symtab.t;
   stride : int;  (** symtab length at build end; adjacency key stride *)
-  by_label : (int, Iset.t) Hashtbl.t;  (** label sym -> complex nodes *)
-  by_value : (vkey, Iset.t) Hashtbl.t;
+  by_label : postings;  (** label sym -> complex nodes *)
+  mutable by_value : vtbl;
   all_complex : Iset.t;
   all_atoms : Iset.t;
-  out_by_name : (int, Iset.t) Hashtbl.t;  (** node * stride + name sym *)
-  in_by_name : (int, Iset.t) Hashtbl.t;
-  attr_out : (int, Iset.t) Hashtbl.t;
-  child_out : Iset.t array;
-  child_in : Iset.t array;
-  ref_out : Iset.t array;
-  ref_in : Iset.t array;
-  edges_by_name : (int, (int * int) array) Hashtbl.t;  (** name sym *)
+  out_by_name : postings;  (** node * stride + name sym *)
+  in_by_name : postings;
+  attr_out : postings;
+  child_out : dense;
+  child_in : dense;
+  ref_out : dense;
+  ref_in : dense;
+  mutable edges_by_name : etbl;  (** name sym *)
   (* Regular-path engine state, all lazy and mutex-guarded (the serve
      pool shares one snapshot across worker domains): per-lane edge-sym
      planes aligned with the CSR out/in slices, per-automaton
@@ -77,7 +167,7 @@ type t = {
 }
 
 let build (data : Graph.t) : t =
-  let csr = Gql_graph.Csr.freeze data.Graph.g in
+  let csr = Gql_graph.Csr.freeze (Graph.digraph data) in
   let n = Gql_graph.Csr.n_nodes csr in
   let symtab = Symtab.create () in
   let by_label_l : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
@@ -149,26 +239,30 @@ let build (data : Graph.t) : t =
     version = (Graph.n_nodes data, Graph.n_edges data);
     symtab;
     stride;
-    by_label = finish_syms (Hashtbl.create (Hashtbl.length by_label_l)) by_label_l;
-    by_value = finish_syms (Hashtbl.create (Hashtbl.length by_value_l)) by_value_l;
+    by_label =
+      P_tbl (finish_syms (Hashtbl.create (Hashtbl.length by_label_l)) by_label_l);
+    by_value =
+      V_ready
+        (finish_syms (Hashtbl.create (Hashtbl.length by_value_l)) by_value_l);
     all_complex = Iset.unsafe_of_sorted_array (Array.of_list !complex_l);
     all_atoms = Iset.unsafe_of_sorted_array (Array.of_list !atoms_l);
-    out_by_name = finish_adj out_name_l;
-    in_by_name = finish_adj in_name_l;
-    attr_out = finish_adj attr_l;
-    child_out = adj_sets child_out_l;
-    child_in = adj_sets child_in_l;
-    ref_out = adj_sets ref_out_l;
-    ref_in = adj_sets ref_in_l;
+    out_by_name = P_tbl (finish_adj out_name_l);
+    in_by_name = P_tbl (finish_adj in_name_l);
+    attr_out = P_tbl (finish_adj attr_l);
+    child_out = D_arr (adj_sets child_out_l);
+    child_in = D_arr (adj_sets child_in_l);
+    ref_out = D_arr (adj_sets ref_out_l);
+    ref_in = D_arr (adj_sets ref_in_l);
     edges_by_name =
-      (let out = Hashtbl.create (Hashtbl.length edges_name_l) in
-       Hashtbl.iter
-         (fun key r ->
-           let a = Array.of_list !r in
-           Array.sort compare a;
-           Hashtbl.replace out key a)
-         edges_name_l;
-       out);
+      E_ready
+        (let out = Hashtbl.create (Hashtbl.length edges_name_l) in
+         Hashtbl.iter
+           (fun key r ->
+             let a = Array.of_list !r in
+             Array.sort compare a;
+             Hashtbl.replace out key a)
+           edges_name_l;
+         out);
     path_lock = Mutex.create ();
     planes = Hashtbl.create 4;
     path_specs = Hashtbl.create 8;
@@ -193,11 +287,46 @@ let node_sym t n = Gql_graph.Csr.node_sym t.csr n
     in the snapshot carries it (so no node/edge can match). *)
 let label_sym t s = match Symtab.find t.symtab s with Some i -> i | None -> -1
 
-let find_set tbl key = Option.value (Hashtbl.find_opt tbl key) ~default:Iset.empty
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+    Mutex.unlock m;
+    v
+  | exception e ->
+    Mutex.unlock m;
+    raise e
+
+(* Force a cold derived table exactly once; the fast path is one
+   immutable-looking field read, the slow path runs under [path_lock]
+   so concurrent worker domains materialise a loaded snapshot once. *)
+let by_value_tbl t : (vkey, Iset.t) Hashtbl.t =
+  match t.by_value with
+  | V_ready h -> h
+  | V_lazy _ ->
+    with_lock t.path_lock (fun () ->
+        match t.by_value with
+        | V_ready h -> h
+        | V_lazy mk ->
+          let h = mk () in
+          t.by_value <- V_ready h;
+          h)
+
+let edges_tbl t : (int, (int * int) array) Hashtbl.t =
+  match t.edges_by_name with
+  | E_ready h -> h
+  | E_lazy _ ->
+    with_lock t.path_lock (fun () ->
+        match t.edges_by_name with
+        | E_ready h -> h
+        | E_lazy { mk; _ } ->
+          let h = mk () in
+          t.edges_by_name <- E_ready h;
+          h)
 
 (** Complex nodes carrying label symbol [sym], sorted. *)
 let complex_with_sym t sym : Iset.t =
-  if sym < 0 then Iset.empty else find_set t.by_label sym
+  if sym < 0 then Iset.empty else p_find t.by_label sym
 
 (** Complex nodes carrying label [l], sorted. *)
 let complex_with_label t l : Iset.t = complex_with_sym t (label_sym t l)
@@ -206,7 +335,7 @@ let complex_with_label t l : Iset.t = complex_with_sym t (label_sym t l)
     label, not per node (this is how regex name tests scale). *)
 let complex_matching t p : Iset.t =
   let parts =
-    Hashtbl.fold
+    p_fold
       (fun sym nodes acc ->
         if p (Symtab.name t.symtab sym) then nodes :: acc else acc)
       t.by_label []
@@ -217,18 +346,22 @@ let complex_matching t p : Iset.t =
   | parts -> List.fold_left Iset.union Iset.empty parts
 
 (** Atom nodes equal (in the [Value.equal_values] sense) to [v]. *)
-let atoms_equal t v : Iset.t = find_set t.by_value (vkey v)
+let atoms_equal t v : Iset.t =
+  Option.value (Hashtbl.find_opt (by_value_tbl t) (vkey v)) ~default:Iset.empty
 
 let all_complex t = t.all_complex
 let all_atoms t = t.all_atoms
 
 let labels t =
-  Hashtbl.fold (fun sym _ acc -> Symtab.name t.symtab sym :: acc) t.by_label []
+  p_fold (fun sym _ acc -> Symtab.name t.symtab sym :: acc) t.by_label []
   |> List.sort compare
 
 (* name-partitioned adjacency, keyed by one immediate int *)
 let adj_named tbl t n sym : Iset.t =
-  if sym < 0 then Iset.empty else find_set tbl ((n * t.stride) + sym)
+  if sym < 0 then Iset.empty else p_find tbl ((n * t.stride) + sym)
+
+let adj_mem tbl t n sym dst : bool =
+  sym >= 0 && p_mem tbl ((n * t.stride) + sym) dst
 
 let out_named_sym t n sym = adj_named t.out_by_name t n sym
 let in_named_sym t n sym = adj_named t.in_by_name t n sym
@@ -236,15 +369,15 @@ let attr_named_sym t n sym = adj_named t.attr_out t n sym
 let out_named t n name = out_named_sym t n (label_sym t name)
 let in_named t n name = in_named_sym t n (label_sym t name)
 let attr_named t n name = attr_named_sym t n (label_sym t name)
-let children t n = t.child_out.(n)
-let parents t n = t.child_in.(n)
-let ref_succ t n = t.ref_out.(n)
-let ref_pred t n = t.ref_in.(n)
+let children t n = d_get t.child_out n
+let parents t n = d_get t.child_in n
+let ref_succ t n = d_get t.ref_out n
+let ref_pred t n = d_get t.ref_in n
 
 let edges_named t name : (int * int) array =
   match Symtab.find t.symtab name with
   | None -> [||]
-  | Some sym -> Option.value (Hashtbl.find_opt t.edges_by_name sym) ~default:[||]
+  | Some sym -> Option.value (Hashtbl.find_opt (edges_tbl t) sym) ~default:[||]
 
 (** O(1) total degree, for the matcher's fail-first scorer. *)
 let degree t n = Gql_graph.Csr.degree t.csr n
@@ -269,9 +402,21 @@ let name_edge_count t name : int =
   match Symtab.find t.symtab name with
   | None -> 0
   | Some sym -> (
-    match Hashtbl.find_opt t.edges_by_name sym with
-    | None -> 0
-    | Some a -> Array.length a)
+    match t.edges_by_name with
+    | E_ready h -> (
+      match Hashtbl.find_opt h sym with
+      | None -> 0
+      | Some a -> Array.length a)
+    | E_lazy { counts; _ } ->
+      (* planner probes must not force pair materialisation *)
+      let lo = ref 0 and hi = ref (Array.length counts) in
+      while !lo < !hi do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if fst counts.(mid) < sym then lo := mid + 1 else hi := mid
+      done;
+      if !lo < Array.length counts && fst counts.(!lo) = sym then
+        snd counts.(!lo)
+      else 0)
 
 let stats t : stats =
   {
@@ -280,10 +425,15 @@ let stats t : stats =
     st_avg_out_degree = Gql_graph.Csr.avg_out_degree t.csr;
     st_max_out_degree = Gql_graph.Csr.max_out_degree t.csr;
     st_name_counts =
-      Hashtbl.fold
-        (fun sym pairs acc ->
-          (Symtab.name t.symtab sym, Array.length pairs) :: acc)
-        t.edges_by_name []
+      (match t.edges_by_name with
+      | E_ready h ->
+        Hashtbl.fold
+          (fun sym pairs acc ->
+            (Symtab.name t.symtab sym, Array.length pairs) :: acc)
+          h []
+      | E_lazy { counts; _ } ->
+        Array.to_list counts
+        |> List.map (fun (sym, c) -> (Symtab.name t.symtab sym, c)))
       |> List.sort compare;
   }
 
@@ -298,7 +448,7 @@ let nav_name t name : Gql_graph.Homo.nav =
   {
     nav_out = Some (fun n -> out_named_sym t n sym);
     nav_in = Some (fun n -> in_named_sym t n sym);
-    nav_links = Some (fun src dst -> Iset.mem (out_named_sym t src sym) dst);
+    nav_links = Some (fun src dst -> adj_mem t.out_by_name t src sym dst);
     nav_exact = true;
   }
 
@@ -307,7 +457,7 @@ let nav_child t : Gql_graph.Homo.nav =
   {
     nav_out = Some (fun n -> children t n);
     nav_in = Some (fun n -> parents t n);
-    nav_links = Some (fun src dst -> Iset.mem (children t src) dst);
+    nav_links = Some (fun src dst -> d_mem t.child_out src dst);
     nav_exact = true;
   }
 
@@ -328,7 +478,7 @@ let nav_attr t name : Gql_graph.Homo.nav =
   {
     nav_out = Some (fun n -> attr_named_sym t n sym);
     nav_in = None;
-    nav_links = Some (fun src dst -> Iset.mem (attr_named_sym t src sym) dst);
+    nav_links = Some (fun src dst -> adj_mem t.attr_out t src sym dst);
     nav_exact = true;
   }
 
@@ -337,7 +487,7 @@ let nav_ref t : Gql_graph.Homo.nav =
   {
     nav_out = Some (fun n -> ref_succ t n);
     nav_in = Some (fun n -> ref_pred t n);
-    nav_links = Some (fun src dst -> Iset.mem (ref_succ t src) dst);
+    nav_links = Some (fun src dst -> d_mem t.ref_out src dst);
     nav_exact = true;
   }
 
@@ -366,16 +516,6 @@ let plane_name = 1
 
 let plane_rel = 2
 let plane_child = 3
-
-let with_lock m f =
-  Mutex.lock m;
-  match f () with
-  | v ->
-    Mutex.unlock m;
-    v
-  | exception e ->
-    Mutex.unlock m;
-    raise e
 
 (* Per-edge interned name, or [-1] where the lane rejects the edge —
    index-aligned with the CSR out/in label slices, so a plane-mode

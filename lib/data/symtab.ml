@@ -63,3 +63,16 @@ let name (t : t) (id : int) : string =
 (** All interned strings in id order (a build-order snapshot). *)
 let to_array (t : t) : string array =
   Mutex.protect t.lock (fun () -> Array.sub t.names 0 t.len)
+
+(** Rebuild a table whose id [i] resolves to [names.(i)] — how the
+    snapshot loader restores a saved table so every id recorded in the
+    file's planes resolves exactly as it did in the saved index.  Takes
+    ownership of [names]; entries must be distinct. *)
+let of_names (names : string array) : t =
+  let n = Array.length names in
+  let tbl = Hashtbl.create (max 64 n) in
+  Array.iteri (fun i s -> Hashtbl.replace tbl s i) names;
+  if Hashtbl.length tbl <> n then
+    invalid_arg "Symtab.of_names: duplicate entries";
+  { lock = Mutex.create (); tbl; names = (if n = 0 then [| "" |] else names);
+    len = n }

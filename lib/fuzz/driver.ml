@@ -119,6 +119,14 @@ let checks_for ~(transport : Oracle.transport option)
               (fun ~xml ~source ->
                 Oracle.match_vs_algebra transport ~doc_name:(fresh_doc ())
                   ~xml ~source) } ]
+      | Oracle.Loaded_vs_frozen ->
+        (* one save/load round-trip per source language: the MATCH leg
+           exercises all six routes, XML-GL and WG-Log the engines *)
+        List.map
+          (fun source ->
+            { oracle; xml = c.Casegen.xml; source; parses = prog_parses;
+              rerun = (fun ~xml ~source -> Oracle.loaded_vs_frozen ~xml ~source) })
+          [ c.Casegen.xmlgl_src; c.Casegen.wglog_src; c.Casegen.match_src ]
       )
     oracles
 
@@ -234,3 +242,5 @@ let replay (r : Corpus.repro) : Oracle.verdict =
             Oracle.match_vs_algebra
               (Some (Oracle.inproc_transport server))
               ~doc_name:"repro" ~xml:r.xml ~source:r.source))
+  | Some Oracle.Loaded_vs_frozen ->
+    guard (fun () -> Oracle.loaded_vs_frozen ~xml:r.xml ~source:r.source)

@@ -1,4 +1,4 @@
-(** The six differential oracles.
+(** The seven differential oracles.
 
     Each oracle evaluates the same question along two redundant paths
     that share as little code as possible and demands byte-identical
@@ -19,7 +19,11 @@
     - {!match_vs_algebra}: the textual [MATCH] front-end — parse→pp→parse
       identity, then the canonical result body along four in-process
       routes (direct matcher scan/indexed, algebra greedy/fixed) and
-      through a served round-trip, cold and cached.
+      through a served round-trip, cold and cached;
+    - {!loaded_vs_frozen}: a freshly frozen index vs. the same index
+      after a {!Gql_data.Store} save/load round-trip — every engine
+      must answer byte-identically on the loaded flat planes, and the
+      lazily thawed graph must fingerprint the same.
 
     Any disagreement — including one side raising where the other
     answers — is a {!Fail}; uncaught exceptions are converted to
@@ -33,10 +37,11 @@ type name =
   | Direct_vs_served
   | Seq_vs_par
   | Match_vs_algebra
+  | Loaded_vs_frozen
 
 let all =
   [ Scan_vs_index; Digraph_vs_csr; Engine_vs_algebra; Direct_vs_served;
-    Seq_vs_par; Match_vs_algebra ]
+    Seq_vs_par; Match_vs_algebra; Loaded_vs_frozen ]
 
 let to_string = function
   | Scan_vs_index -> "scan-vs-index"
@@ -45,6 +50,7 @@ let to_string = function
   | Direct_vs_served -> "direct-vs-served"
   | Seq_vs_par -> "seq-vs-par"
   | Match_vs_algebra -> "match-vs-algebra"
+  | Loaded_vs_frozen -> "loaded-vs-frozen"
 
 let of_string = function
   | "scan-vs-index" -> Some Scan_vs_index
@@ -53,6 +59,7 @@ let of_string = function
   | "direct-vs-served" -> Some Direct_vs_served
   | "seq-vs-par" -> Some Seq_vs_par
   | "match-vs-algebra" -> Some Match_vs_algebra
+  | "loaded-vs-frozen" -> Some Loaded_vs_frozen
   | _ -> None
 
 type verdict = Pass | Fail of string
@@ -307,12 +314,12 @@ let graph_fingerprint (data : Gql_data.Graph.t) =
     List.rev
       (Gql_graph.Digraph.fold_nodes
          (fun acc i kind -> (i, kind) :: acc)
-         [] data.Gql_data.Graph.g)
+         [] (Gql_data.Graph.digraph data))
   in
   let edges = ref [] in
   Gql_graph.Digraph.iter_edges
     (fun ~src ~dst (e : Gql_data.Graph.edge) -> edges := (src, dst, e) :: !edges)
-    data.Gql_data.Graph.g;
+    (Gql_data.Graph.digraph data);
   (nodes, List.rev !edges)
 
 let seq_vs_par ~(xml : string) ~(source : string) : verdict =
@@ -516,3 +523,108 @@ let match_vs_algebra (transport : transport option) ~(doc_name : string)
               match check_one "cold" (run ()) with
               | Fail _ as f -> f
               | Pass -> check_one "cached" (run ())))))))
+
+(* ------------------------------------------------------------------ *)
+(* (g) freshly frozen vs. snapshot save/load round-trip                *)
+(* ------------------------------------------------------------------ *)
+
+(** Freeze the document's index, save it through {!Gql_data.Store},
+    load the file back, and demand that the loaded database answers
+    byte-identically to the frozen original:
+
+    - [MATCH] sources run all six routes (homomorphism scan/indexed,
+      algebra greedy/fixed/cost/no-index) on both databases — the scan
+      routes force the lazy [Digraph] thaw, the indexed routes exercise
+      the flat postings planes;
+    - XML-GL programs compare rendered result documents;
+    - WG-Log programs run the fixpoint on a fork of each graph and
+      compare the statistics and the full derived-graph fingerprint.
+
+    A save or load that raises is a failure in itself — the generator
+    only produces documents the store must accept. *)
+let loaded_vs_frozen ~(xml : string) ~(source : string) : verdict =
+  match Gql_core.Gql.language_of_source source with
+  | `Unknown -> failf "query source has no language header"
+  | lang -> (
+    match capture (fun () -> Gql_core.Gql.load_xml_string xml) with
+    | Error e -> failf "document rejected: %s" e
+    | Ok frozen ->
+      let tmp = Filename.temp_file "gql-fuzz" ".snap" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          match
+            capture (fun () ->
+                ignore (Gql_data.Store.save ~path:tmp (Gql_core.Gql.index frozen));
+                Gql_core.Gql.load_snapshot_file tmp)
+          with
+          | Error e -> failf "snapshot round-trip rejected: %s" e
+          | Ok loaded -> (
+            let pair label a b =
+              match a, b with
+              | Ok x, Ok y when x = y -> None
+              | Error x, Error y when x = y -> None
+              | _ ->
+                let s = function Ok _ -> "ok" | Error e -> e in
+                Some
+                  (Printf.sprintf "%s differs frozen-vs-loaded (%s / %s)" label
+                     (s a) (s b))
+            in
+            let disagreement =
+              match lang with
+              | `Xmlgl ->
+                let run (db : Gql_core.Gql.db) =
+                  capture (fun () ->
+                      Gql_core.Gql.to_xml_string
+                        (Gql_core.Gql.run_xmlgl db (Gql_core.Gql.parse_xmlgl source)))
+                in
+                pair "xmlgl result" (run frozen) (run loaded)
+              | `Wglog ->
+                let run (db : Gql_core.Gql.db) =
+                  capture (fun () ->
+                      let g = Gql_data.Graph.copy db.Gql_core.Gql.graph in
+                      let fork = Gql_core.Gql.of_graph g in
+                      let stats =
+                        Gql_core.Gql.run_wglog fork (Gql_core.Gql.parse_wglog source)
+                      in
+                      ( stats.Gql_wglog.Eval.rounds, stats.embeddings_found,
+                        stats.nodes_added, stats.edges_added,
+                        graph_fingerprint g ))
+                in
+                pair "wglog fixpoint" (run frozen) (run loaded)
+              | `Match | `Unknown ->
+                let routes (db : Gql_core.Gql.db) =
+                  let data = db.Gql_core.Gql.graph in
+                  let route f =
+                    capture (fun () ->
+                        let q = Gql_core.Gql.parse_match source in
+                        let c = Gql_match.Compile.compile q in
+                        Gql_match.Eval.body data c (f c))
+                  in
+                  [
+                    ("homo-scan", route (fun c -> Gql_match.Eval.bindings data c));
+                    ( "homo-indexed",
+                      route (fun c ->
+                          Gql_match.Eval.bindings ~index:(Gql_core.Gql.index db)
+                            data c) );
+                    ( "algebra-greedy",
+                      route (fun c ->
+                          Gql_match.Eval.bindings_algebra ~strategy:`Greedy
+                            ~index:(Gql_core.Gql.index db) data c) );
+                    ( "algebra-fixed",
+                      route (fun c ->
+                          Gql_match.Eval.bindings_algebra ~strategy:`Fixed
+                            ~index:(Gql_core.Gql.index db) data c) );
+                    ( "algebra-cost",
+                      route (fun c ->
+                          Gql_match.Eval.bindings_algebra ~strategy:`Cost
+                            ~index:(Gql_core.Gql.index db) data c) );
+                    ( "algebra-noindex",
+                      route (fun c -> Gql_match.Eval.bindings_algebra data c) );
+                  ]
+                in
+                List.find_map
+                  (fun ((label, a), (_, b)) -> pair label a b)
+                  (List.combine (routes frozen) (routes loaded))
+            in
+            match disagreement with Some msg -> Fail msg | None -> Pass)))

@@ -170,3 +170,48 @@ let freeze (g : ('n, 'e) Digraph.t) : ('n, 'e) t =
     { payloads; out_off; out_dst; out_lab; in_off; in_src; in_lab;
       node_syms = [||] }
   end
+
+(** Assemble a frozen view from prebuilt planes — the snapshot loader's
+    constructor.  Takes ownership of every array; offsets must be
+    monotone with [off.(0) = 0] and [off.(n)] equal to the edge count
+    (the loader validates this against the file before calling). *)
+let of_planes ~payloads ~out_off ~out_dst ~out_lab ~in_off ~in_src ~in_lab
+    ~node_syms : ('n, 'e) t =
+  let n = Array.length payloads in
+  if Array.length out_off <> n + 1 || Array.length in_off <> n + 1 then
+    invalid_arg "Csr.of_planes: offset length mismatch";
+  if
+    Array.length out_dst <> Array.length out_lab
+    || Array.length in_src <> Array.length in_lab
+    || Array.length out_dst <> Array.length in_src
+  then invalid_arg "Csr.of_planes: edge plane length mismatch";
+  { payloads; out_off; out_dst; out_lab; in_off; in_src; in_lab; node_syms }
+
+(** Rebuild a mutable {!Digraph} from the frozen view — the inverse of
+    {!freeze}, used to thaw a loaded snapshot on first demand.  Preserves
+    adjacency order (slice order = cons-list order), copies the payload
+    array (so [Digraph.set_payload] cannot corrupt the CSR), and shares
+    the immutable edge labels. *)
+let thaw (t : ('n, 'e) t) ~(dummy : 'n) : ('n, 'e) Digraph.t =
+  let n = n_nodes t in
+  if n = 0 then Digraph.create ~dummy
+  else begin
+    let succ = Array.make n [] in
+    let pred = Array.make n [] in
+    for i = 0 to n - 1 do
+      let lo = t.out_off.(i) in
+      let l = ref [] in
+      for k = t.out_off.(i + 1) - 1 downto lo do
+        l := (t.out_dst.(k), t.out_lab.(k)) :: !l
+      done;
+      succ.(i) <- !l;
+      let lo = t.in_off.(i) in
+      let l = ref [] in
+      for k = t.in_off.(i + 1) - 1 downto lo do
+        l := (t.in_src.(k), t.in_lab.(k)) :: !l
+      done;
+      pred.(i) <- !l
+    done;
+    Digraph.of_adjacency ~dummy ~payloads:(Array.copy t.payloads) ~succ ~pred
+      ~n_edges:(n_edges t)
+  end

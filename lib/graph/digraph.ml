@@ -92,6 +92,24 @@ let map ~node ~edge ~dummy g =
   iter_edges (fun ~src ~dst l -> add_edge g' ~src ~dst (edge l)) g;
   g'
 
+(** Rebuild a mutable graph from prebuilt adjacency lists — the inverse
+    of a freeze, used by the snapshot loader to thaw an on-disk CSR
+    image.  Takes ownership of all three arrays; [succ]/[pred] lists
+    must describe the same edge multiset ([n_edges] of them) with
+    mirrored order, as {!succ}/{!pred} of the original graph did. *)
+let of_adjacency ~(dummy : 'n) ~(payloads : 'n array)
+    ~(succ : (int * 'e) list array) ~(pred : (int * 'e) list array)
+    ~(n_edges : int) : ('n, 'e) t =
+  if Array.length succ <> Array.length payloads
+     || Array.length pred <> Array.length payloads
+  then invalid_arg "Digraph.of_adjacency: length mismatch";
+  {
+    payloads = Vec.of_array ~dummy payloads;
+    out_adj = Vec.of_array ~dummy:[| [] |] (Array.map (fun l -> [| l |]) succ);
+    in_adj = Vec.of_array ~dummy:[| [] |] (Array.map (fun l -> [| l |]) pred);
+    n_edges;
+  }
+
 (** An independent structural copy: same node ids, same adjacency-list
     order (so evaluation over the copy enumerates embeddings exactly as
     over the original), no shared mutable state. *)

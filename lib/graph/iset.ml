@@ -84,6 +84,23 @@ let lower_bound (s : t) x lo hi =
   done;
   !lo
 
+(** Membership of [x] in the sorted slice [pool.[lo, hi)] without
+    materialising it — the snapshot loader's flat postings answer link
+    tests straight off the shared pool array, allocating nothing. *)
+let mem_range (pool : int array) ~lo ~hi x =
+  if hi - lo <= 8 then begin
+    let rec go i = i < hi && (pool.(i) = x || (pool.(i) < x && go (i + 1))) in
+    go lo
+  end
+  else begin
+    let lo = ref lo and hi' = ref hi in
+    while !lo < !hi' do
+      let mid = !lo + ((!hi' - !lo) / 2) in
+      if pool.(mid) < x then lo := mid + 1 else hi' := mid
+    done;
+    !lo < hi && pool.(!lo) = x
+  end
+
 let mem (s : t) x =
   let n = Array.length s in
   if n <= 8 then begin

@@ -29,6 +29,13 @@ let push v x =
 (** An independent copy sharing no mutable state with the original. *)
 let copy v = { data = Array.copy v.data; len = v.len; dummy = v.dummy }
 
+(** Wrap [a] as a vector of exactly its elements.  Takes ownership of
+    the array (the vector mutates it in place on [set]/[push]); callers
+    that still need [a] must pass a copy. *)
+let of_array ~(dummy : 'a) (a : 'a array) : 'a t =
+  if Array.length a = 0 then create ~dummy ()
+  else { data = a; len = Array.length a; dummy }
+
 let iteri f v =
   for i = 0 to v.len - 1 do
     f i v.data.(i)

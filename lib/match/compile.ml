@@ -216,7 +216,7 @@ let compile (q : Ast.query) : t =
                 r_pred =
                   (fun data emb ->
                     not
-                      (Gql_graph.Regpath.connects rp data.Graph.g
+                      (Gql_graph.Regpath.connects rp (Graph.digraph data)
                          ~src:emb.(src) ~dst:emb.(dst)));
               })
         | _ ->
@@ -243,7 +243,7 @@ let compile (q : Ast.query) : t =
                     (Homo.exists
                        ~pre_bound:
                          (List.map (fun (o, i) -> (i, emb.(o))) shared)
-                       inner_pat data.Graph.g));
+                       inner_pat (Graph.digraph data)));
             })
       | Ast.Where conds ->
         List.iter

@@ -17,7 +17,7 @@ let bindings ?(index : Index.t option) ?domains (data : Graph.t)
   let provider = Option.map (fun idx -> Compile.provider idx c) index in
   let acc = ref [] in
   Gql_graph.Homo.iter_embeddings ?provider ?domains c.Compile.pattern
-    data.Graph.g ~emit:(fun emb -> acc := Array.copy emb :: !acc);
+    (Graph.digraph data) ~emit:(fun emb -> acc := Array.copy emb :: !acc);
   List.filter
     (fun emb ->
       List.for_all

@@ -220,14 +220,26 @@ let handle_request t (req : Protocol.request) ~(started : float) :
     ok
       (Metrics.render t.metrics
       ^ Gql_graph.Par.stats_lines ()
-      ^ Gql_graph.Regpath.stats_lines ())
+      ^ Gql_graph.Regpath.stats_lines ()
+      ^ Gql_data.Store.stats_lines ())
   | Protocol.Load { doc; xml } -> (
+    let prior = Registry.find t.registry doc in
     match Registry.load_xml t.registry ~name:doc xml with
     | Error msg -> Protocol.Err msg
     | Ok snap ->
       Metrics.incr t.metrics.Metrics.loads;
-      Option.iter (fun rc -> Rcache.purge_doc rc doc) t.rcache;
-      Pcache.purge_doc t.pcache doc;
+      (* Digest reuse: identical content re-installed the same snapshot
+         (version unchanged) — its cached results are still valid, so
+         keep them warm instead of purging. *)
+      let reused =
+        match prior with
+        | Some p -> p.Registry.version = snap.Registry.version
+        | None -> false
+      in
+      if not reused then begin
+        Option.iter (fun rc -> Rcache.purge_doc rc doc) t.rcache;
+        Pcache.purge_doc t.pcache doc
+      end;
       ok
         ~info:
           (Printf.sprintf "doc=%s version=%d nodes=%d edges=%d" snap.Registry.name

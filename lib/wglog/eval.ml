@@ -301,7 +301,7 @@ let global_negs_ok ?index (data : Graph.t) (cq : compiled_query) =
               && sp src (Graph.kind data src)
               && dp dst (Graph.kind data dst)
             then found := true)
-          data.Graph.g;
+          (Graph.digraph data);
         not !found)
     cq.global_negs
 
@@ -350,7 +350,7 @@ let query_embeddings ?(pre_bound = []) ?index ?domains (data : Graph.t)
     | None -> cq.pattern
   in
   Gql_graph.Homo.iter_embeddings ~pre_bound ?provider:prov ?domains pattern
-    data.Graph.g ~emit:(fun emb ->
+    (Graph.digraph data) ~emit:(fun emb ->
       let full = Array.make n (-1) in
       Array.iteri (fun pos qid -> full.(qid) <- emb.(pos)) cq.query_ids;
       if neg_checks_ok ?index data cq full then out := full :: !out);
@@ -668,7 +668,7 @@ let delta_seeds (data : Graph.t) (cq : compiled_query) ~(last_gen : int) :
             (fun i (src, p, dst) ->
               if p e then acc.(i) <- [ (src, u); (dst, v) ] :: acc.(i))
             pats)
-      data.Graph.g;
+      (Graph.digraph data);
     List.concat_map (fun seeds -> seeds) (Array.to_list acc)
 
 (** Run a program to fixpoint.  Mutates [data]; returns statistics.

@@ -407,7 +407,7 @@ let run ?(index : Index.t option) ?domains (data : Graph.t) (q : Ast.query) :
   let c = compile ?index data q in
   let provider = Option.map (fun idx -> provider idx c) index in
   let out = ref [] in
-  Gql_graph.Homo.iter_embeddings ?provider ?domains c.pattern data.Graph.g
+  Gql_graph.Homo.iter_embeddings ?provider ?domains c.pattern (Graph.digraph data)
     ~emit:(fun emb ->
       if embedding_ok c data emb then out := to_query_binding c emb :: !out);
   List.rev !out

@@ -63,9 +63,9 @@ let test_freeze_workload () =
   (* real data graphs, including parallel edges and attribute slots *)
   let graphs =
     [
-      (Gql_workload.Gen.restaurants 30).Gql_data.Graph.g;
-      (Gql_workload.Gen.hyperdocs ~fanout:3 25).Gql_data.Graph.g;
-      (Gql_workload.Gen.to_graph (Gql_workload.Gen.random_tree 120)).Gql_data.Graph.g;
+      (Gql_data.Graph.digraph (Gql_workload.Gen.restaurants 30));
+      (Gql_data.Graph.digraph (Gql_workload.Gen.hyperdocs ~fanout:3 25));
+      (Gql_data.Graph.digraph (Gql_workload.Gen.to_graph (Gql_workload.Gen.random_tree 120)));
     ]
   in
   List.iter

@@ -205,12 +205,12 @@ let fingerprint (data : Graph.t) =
     List.rev
       (Gql_graph.Digraph.fold_nodes
          (fun acc i kind -> (i, kind) :: acc)
-         [] data.Graph.g)
+         [] (Graph.digraph data))
   in
   let edges = ref [] in
   Gql_graph.Digraph.iter_edges
     (fun ~src ~dst (e : Graph.edge) -> edges := (src, dst, e) :: !edges)
-    data.Graph.g;
+    (Graph.digraph data);
   (nodes, List.rev !edges)
 
 let fixpoint_at base prog domains =
@@ -260,7 +260,7 @@ let test_wglog_parallel_round_adds_nodes () =
     Gql_graph.Digraph.iter_edges
       (fun ~src ~dst (e : Graph.edge) ->
         edges := (src, dst, e.Graph.name, e.Graph.gen) :: !edges)
-      g.Graph.g;
+      (Graph.digraph g);
     (stats.Gql_wglog.Eval.nodes_added, Graph.n_nodes g,
      List.sort compare !edges)
   in

@@ -380,7 +380,14 @@ let test_stats_metrics_errors () =
               && List.mem_assoc "path_memo_hits" kv
               && List.mem_assoc "path_memo_misses" kv
               && List.mem_assoc "path_frontier_peak" kv
-              && List.mem_assoc "path_scratch_reuses" kv)
+              && List.mem_assoc "path_scratch_reuses" kv);
+            (* ... and the snapshot store's *)
+            check_bool "snapshot stats exported" true
+              (List.mem_assoc "snapshot_saves" kv
+              && List.mem_assoc "snapshot_loads" kv
+              && List.mem_assoc "snapshot_save_ms" kv
+              && List.mem_assoc "snapshot_load_ms" kv
+              && List.mem_assoc "snapshot_bytes" kv)
           | Error m -> Alcotest.fail m))
 
 (* --- plan cache ----------------------------------------------------------- *)
